@@ -1,0 +1,38 @@
+"""Figure 1 bench: avg per-process execution time vs concurrency.
+
+Paper series: flat ~1.65 s for 1..1000 CPU-bound processes, slightly
+decreasing, identical across ULE / 4BSD / Linux 2.6.
+"""
+
+import pytest
+
+from repro.experiments.fig1_cpu_scalability import print_report, run_fig1
+
+
+def test_fig1_cpu_scalability(benchmark, save_report, full_scale):
+    counts = (1, 10, 50, 100, 200, 400, 600, 800, 1000)
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"counts": counts}, rounds=1, iterations=1
+    )
+    save_report("fig01_cpu_scalability", print_report(result))
+
+    from pathlib import Path
+
+    from repro.analysis.export import export_figure
+
+    export_figure(
+        Path(__file__).parent / "out",
+        "fig01",
+        {
+            label: list(zip(result.counts, series))
+            for label, series in result.curves.items()
+        },
+        title="Figure 1: avg per-process execution time",
+        xlabel="concurrent processes",
+        ylabel="seconds",
+    )
+
+    for label, series in result.curves.items():
+        # Paper y-range: the whole figure lives in 1.645-1.69 s.
+        assert all(1.64 < v < 1.70 for v in series), label
+        assert series[0] > series[-1], f"{label}: no amortization trend"

@@ -1,0 +1,26 @@
+"""Figure 2 bench: memory-intensive processes and the swap knee.
+
+Paper series: FreeBSD (ULE and 4BSD) explodes once aggregate demand
+passes 2 GB (to ~8x by 50 processes); Linux 2.6 stays flat.
+"""
+
+import pytest
+
+from repro.experiments.fig2_memory_pressure import print_report, run_fig2
+
+
+def test_fig2_memory_pressure(benchmark, save_report, full_scale):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_report("fig02_memory_pressure", print_report(result))
+
+    for label in ("ULE scheduler", "4BSD scheduler"):
+        series = result.curves[label]
+        assert series[0] < 1.4, f"{label} inflated below the knee"
+        assert series[-1] > 4 * series[0], f"{label} missing the swap blowup"
+    linux = result.curves["Linux 2.6"]
+    assert max(linux) < 1.3 * min(linux), "Linux must stay flat"
+    # Crossover position: FreeBSD leaves the flat region at ~RAM/size
+    # processes (2048 MB / 100 MB ~ 20).
+    ule = result.curves["ULE scheduler"]
+    knee_index = next(i for i, v in enumerate(ule) if v > 1.5)
+    assert result.counts[knee_index] in (20, 25, 30)

@@ -1,0 +1,41 @@
+"""Figure 3 bench: fairness CDFs for 100 concurrent instances.
+
+Paper shape: 4BSD and Linux 2.6 nearly vertical near 250 s; ULE spread
+over tens of seconds (the paper plots 210-290 s).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_ascii_series
+from repro.experiments.fig3_fairness import print_report, run_fig3
+
+
+def test_fig3_fairness(benchmark, save_report, full_scale):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"instances": 100}, rounds=1, iterations=1
+    )
+    report = [print_report(result)]
+    for label in result.finish_times:
+        report.append(render_ascii_series(result.cdf(label), title=f"CDF {label}"))
+    save_report("fig03_fairness", "\n\n".join(report))
+
+    from pathlib import Path
+
+    from repro.analysis.export import export_figure
+
+    export_figure(
+        Path(__file__).parent / "out",
+        "fig03",
+        {label: result.cdf(label) for label in result.finish_times},
+        title="Figure 3: completion-time CDFs",
+        xlabel="process execution time (s)",
+        ylabel="F(x)",
+    )
+
+    assert result.spread("ULE scheduler") > 0.1
+    assert result.spread("4BSD scheduler") < 0.02
+    assert result.spread("Linux 2.6") < 0.02
+    # All schedulers fair on average: mean completion ~ N*work/ncpus.
+    for label, times in result.finish_times.items():
+        mean = sum(times) / len(times)
+        assert mean == pytest.approx(250.0, rel=0.08), label

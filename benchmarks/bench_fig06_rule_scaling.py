@@ -1,0 +1,37 @@
+"""Figure 6 bench: RTT vs number of firewall rules.
+
+Paper series: RTT grows nearly linearly from ~0 ms to ~5 ms as the
+rule list grows to 50 000 entries.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_ascii_series
+from repro.experiments.fig6_rule_scaling import print_report, run_fig6
+from repro.units import ms
+
+
+def test_fig6_rule_scaling(benchmark, save_report, full_scale):
+    rule_counts = (0, 5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000, 50000)
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={"rule_counts": rule_counts, "pings_per_point": 3},
+        rounds=1,
+        iterations=1,
+    )
+    series = [(c, r[0] * 1e3) for c, r in zip(result.rule_counts, result.rtts)]
+    report = print_report(result) + "\n" + render_ascii_series(
+        series, title="RTT (ms) vs rules"
+    )
+    save_report("fig06_rule_scaling", report)
+
+    avgs = [r[0] for r in result.rtts]
+    assert avgs == sorted(avgs), "RTT must grow with the rule count"
+    # Paper: ~5 ms at 50 000 rules, ~0.1 us/rule slope.
+    assert avgs[-1] == pytest.approx(ms(5), rel=0.1)
+    assert result.slope_us_per_rule() == pytest.approx(0.1, rel=0.15)
+    # Linearity: residual from the straight line stays small.
+    slope_s = result.slope_us_per_rule() * 1e-6
+    intercept = avgs[0]
+    for count, avg in zip(result.rule_counts, avgs):
+        assert avg == pytest.approx(intercept + slope_s * count, abs=ms(0.3))

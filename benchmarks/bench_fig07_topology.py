@@ -1,0 +1,30 @@
+"""Figure 7 bench: hierarchical topology emulation.
+
+Paper measurement: 853 ms RTT between a dsl-fast node (20 ms) and a
+group2 node (5 ms) across the 400 ms inter-group latency; decomposed as
+2 x (20 + 400 + 5) ms plus ~3 ms of real overhead.
+"""
+
+import pytest
+
+from repro.experiments.fig7_topology import print_report, run_fig7
+from repro.units import ms
+
+
+def test_fig7_topology(benchmark, save_report, full_scale):
+    scale = 0.2 if full_scale else 0.02
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"scale": scale, "num_pnodes": 8}, rounds=1, iterations=1
+    )
+    save_report("fig07_topology", print_report(result))
+
+    # The paper's headline number.
+    assert result.measured_rtt == pytest.approx(0.853, abs=ms(5))
+    assert 0 < result.overhead < ms(5)
+    # Hierarchy ordering: farther groups see larger RTTs.
+    assert (
+        result.pair_rtts["dsl-fast->modem"]
+        < result.pair_rtts["dsl-fast->group2"]
+        < result.pair_rtts["dsl-fast->group3"]
+        < result.pair_rtts["group2->group3"]
+    )

@@ -1,0 +1,50 @@
+"""Figure 8 bench: download evolution of the BitTorrent swarm.
+
+Paper run: 160 clients, 16 MB file, 4 seeders, 2 Mbps/128 kbps/30 ms,
+10 s stagger; every client's progress curve shows the three phases and
+the swarm drains by ~2000 s. Default bench scale: 40 clients / 8 MB
+(same shape, ~8x fewer events); REPRO_FULL_SCALE=1 runs the paper set.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_ascii_series
+from repro.core.collector import completion_curve
+from repro.experiments.fig8_download_evolution import print_report, run_fig8
+from repro.units import MB, kbps
+
+
+def test_fig8_download_evolution(benchmark, save_report, full_scale):
+    if full_scale:
+        kwargs = {}  # the paper's exact parameters
+    else:
+        kwargs = dict(
+            leechers=40, seeders=4, file_size=8 * MB, stagger=5.0, num_pnodes=16
+        )
+    result = benchmark.pedantic(run_fig8, kwargs=kwargs, rounds=1, iterations=1)
+
+    first = next(iter(result.progress.values()))
+    report = (
+        print_report(result)
+        + "\n"
+        + render_ascii_series(first, title="one client's progress (% vs time)")
+    )
+    save_report("fig08_download_evolution", report)
+
+    leechers = kwargs.get("leechers", 160)
+    file_size = kwargs.get("file_size", 16 * MB)
+    seeders = kwargs.get("seeders", 4)
+    assert result.summary.clients == leechers
+
+    # Capacity sanity: the swarm cannot beat the aggregate upload links.
+    aggregate_up = (leechers + seeders) * kbps(128)
+    assert result.last_completion > leechers * file_size / aggregate_up * 0.8
+
+    # Three-phase structure on the first-started client.
+    ph = result.phases_first_client
+    assert ph["first_piece"] > 0 and ph["to_half"] > 0 and ph["to_done"] > 0
+
+    # Completion is a ramp, not a cliff at the end of the run.
+    curve = [t for t, _ in result.summary.as_rows()]
+    assert result.summary.first_completion < result.summary.median_completion
+    assert result.summary.median_completion < result.summary.last_completion

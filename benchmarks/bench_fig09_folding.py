@@ -1,0 +1,41 @@
+"""Figure 9 bench: the folding ratio.
+
+Paper run: the Figure 8 swarm deployed on 160/16/8/4/2 physical nodes;
+total-data-received curves are "nearly identical" — the emulation is
+oblivious to folding until the physical network saturates.
+Default bench scale: 24 clients / 4 MB over foldings 24..1
+(1..26 clients per physical node, beyond the paper's 80x on its
+per-node traffic share).
+"""
+
+import pytest
+
+from repro.experiments.fig9_folding import print_report, run_fig9
+from repro.units import MB
+
+
+def test_fig9_folding(benchmark, save_report, full_scale):
+    if full_scale:
+        kwargs = {}  # 160 clients on 160/16/8/4/2 pnodes
+    else:
+        kwargs = dict(
+            pnode_counts=(24, 8, 4, 2, 1),
+            leechers=24,
+            seeders=2,
+            file_size=4 * MB,
+            stagger=2.0,
+        )
+    result = benchmark.pedantic(run_fig9, kwargs=kwargs, rounds=1, iterations=1)
+    save_report("fig09_folding", print_report(result))
+
+    # Every folding downloads the same total payload.
+    finals = {curve[-1][1] for curve in result.curves.values()}
+    assert len(finals) == 1
+
+    # Curves stay within the chaotic-seed envelope of each other; the
+    # paper calls them "nearly identical".
+    assert result.max_relative_gap < 0.15
+
+    # Last-completion times agree across foldings within 15%.
+    times = list(result.last_completions.values())
+    assert max(times) / min(times) < 1.15

@@ -1,0 +1,30 @@
+"""Figure 10 bench: the large-swarm scalability run (selected clients).
+
+Paper run: 5754 clients + 4 seeders + 1 tracker on 180 physical nodes
+(32 vnodes each), 16 MB file, 0.25 s stagger; Figure 10 plots the
+progress of every 50th client and "most clients finish their downloads
+nearly at the same time". Default bench scale: 2% (115 clients), same
+folding ratio; REPRO_FULL_SCALE=1 runs the 5754-client set (minutes).
+"""
+
+import pytest
+
+from repro.experiments.fig10_scalability import print_report, run_fig10
+
+
+def test_fig10_scalability(benchmark, save_report, full_scale):
+    scale = 1.0 if full_scale else 0.02
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_report("fig10_scalability", print_report(result))
+
+    assert result.vnodes_per_pnode <= 33  # the paper's folding ratio
+    assert result.completion[-1][1] == result.clients  # everyone finished
+    # Selected-client curves all reach 100%.
+    for series in result.selected_progress.values():
+        assert series[-1][1] == pytest.approx(100.0)
+    # Clients started over ~24 minutes at full scale finish in a window
+    # comparable to the download time itself (steep collective finish).
+    window = result.last_completion - result.first_completion
+    assert window < result.last_completion

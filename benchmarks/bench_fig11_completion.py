@@ -1,0 +1,39 @@
+"""Figure 11 bench: completions over time for the scalability run.
+
+Same run as Figure 10; the figure shows the number of clients having
+completed the download over time — a steep ramp.
+"""
+
+import pytest
+
+from repro.experiments.fig11_completion import print_report, run_fig11
+
+
+def test_fig11_completion(benchmark, save_report, full_scale):
+    scale = 1.0 if full_scale else 0.02
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"scale": scale, "seed": 1}, rounds=1, iterations=1
+    )
+    save_report("fig11_completion", print_report(result))
+
+    # Also emit gnuplot artifacts (benchmarks/out/fig11.gp + .dat):
+    # `gnuplot fig11.gp` regenerates the figure as a PNG.
+    from pathlib import Path
+
+    from repro.analysis.export import export_figure
+
+    export_figure(
+        Path(__file__).parent / "out",
+        "fig11",
+        {"clients completed": result.completion},
+        title="Figure 11: clients having completed the download",
+        xlabel="time (s)",
+        ylabel="clients",
+    )
+
+    counts = [c for _t, c in result.completion]
+    assert counts == sorted(counts)  # monotone ramp
+    assert counts[-1] == result.clients
+    # "Most clients finish nearly at the same time": at least half the
+    # swarm completes within the middle half of the window.
+    assert result.ramp_steepness > 0.5

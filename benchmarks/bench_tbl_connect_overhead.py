@@ -1,0 +1,41 @@
+"""Connect-overhead bench (paper text table).
+
+Paper numbers: 10.22 us per connect/disconnect cycle with the stock
+libc, 10.79 us with the BINDIP interception (one extra bind syscall).
+"""
+
+import pytest
+
+from repro.experiments.tbl_connect_overhead import (
+    print_report,
+    run_connect_overhead,
+)
+
+
+def test_tbl_connect_overhead(benchmark, save_report, full_scale):
+    cycles = 2000 if full_scale else 500
+    result = benchmark.pedantic(
+        run_connect_overhead, kwargs={"cycles": cycles}, rounds=1, iterations=1
+    )
+    save_report("tblA_connect_overhead", print_report(result))
+
+    assert result.plain_us == pytest.approx(10.22, abs=0.05)
+    assert result.intercepted_us == pytest.approx(10.79, abs=0.05)
+    assert result.overhead_us == pytest.approx(0.57, abs=0.02)
+
+
+def test_tbl_alias_overhead(benchmark, save_report, full_scale):
+    """Paper: "interface aliases produced no overhead compared to the
+    normal assignment of an IP address"."""
+    from repro.experiments.tbl_alias_overhead import (
+        print_report as alias_report,
+        run_alias_overhead,
+    )
+
+    aliases = 1000 if full_scale else 100
+    result = benchmark.pedantic(
+        run_alias_overhead, kwargs={"aliases": aliases}, rounds=1, iterations=1
+    )
+    save_report("tblB_alias_overhead", alias_report(result))
+
+    assert abs(result.max_overhead) < 1e-9

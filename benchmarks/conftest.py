@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one paper figure/table at scaled-down
+default parameters (full scale via ``REPRO_FULL_SCALE=1``; see
+EXPERIMENTS.md for recorded full-scale runs). Reports are printed and
+saved under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """True when the paper-scale parameter sets are requested."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+@pytest.fixture
+def save_report():
+    """Persist (and echo) a figure report."""
+
+    def _save(figure_id: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{figure_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""The folding-ratio validation (paper Figure 9), plus its failure mode.
+
+The experiment that justifies P2PLab's whole approach: run the same
+swarm with 1, then many virtual nodes per physical node, and check the
+results do not change. Then break it on purpose (undersized physical
+ports) to see what folding overhead looks like.
+
+Run:  python examples/folding_study.py            (~1 min)
+"""
+
+from repro.experiments.ablations import (
+    print_uplink_report,
+    run_uplink_saturation_ablation,
+)
+from repro.experiments.fig9_folding import print_report, run_fig9
+from repro.units import MB, gbps, mbps
+
+
+def main() -> None:
+    result = run_fig9(
+        pnode_counts=(24, 8, 4, 2, 1),
+        leechers=24,
+        seeders=2,
+        file_size=4 * MB,
+        stagger=2.0,
+    )
+    print(print_report(result))
+    print("\n-> up to 26 virtual nodes per physical node with no visible")
+    print("   overhead: process-level virtualization is nearly free here.\n")
+
+    ablation = run_uplink_saturation_ablation(
+        port_bandwidths=(gbps(1), mbps(0.5), mbps(0.25), mbps(0.15))
+    )
+    print(print_uplink_report(ablation))
+    print("\n-> fidelity is lost exactly when the physical network can no")
+    print("   longer carry the folded traffic — the paper's 'first limiting")
+    print("   factor was the network speed'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Studying locality with node groups (the paper's Figure 7 model).
+
+P2PLab's network model adds latency between *groups* of nodes (same
+ISP / country / continent) precisely to allow studying "problems
+involving locality of the nodes". This example does exactly that:
+
+1. build the paper's Figure 7 topology (scaled down) and print the
+   inter-group RTT matrix;
+2. run one BitTorrent swarm whose peers are split across two continents
+   (400 ms apart) and compare per-group download times.
+
+Run:  python examples/locality_groups.py
+"""
+
+from repro.analysis.tables import Table
+from repro.bittorrent.client import BitTorrentClient
+from repro.bittorrent.metainfo import Torrent
+from repro.bittorrent.tracker import TrackerServer
+from repro.core import Experiment
+from repro.net.ping import ping
+from repro.topology.presets import figure7_topology
+from repro.topology.spec import TopologySpec
+from repro.units import MB, kbps, mbps, ms
+
+
+def rtt_matrix() -> None:
+    exp = Experiment("figure7", figure7_topology(scale=0.02), num_pnodes=8, seed=7)
+    exp.deploy()
+    groups = list(exp.spec.groups)
+    table = Table(["from \\ to", *groups], title="inter-group RTT (ms), Figure 7 topology")
+    for src_name in groups:
+        row = [src_name]
+        src = exp.vnodes(src_name)[0]
+        for dst_name in groups:
+            if dst_name == src_name:
+                row.append("-")
+                continue
+            dst = exp.vnodes(dst_name)[0]
+            probe = ping(exp.sim, src.pnode.stack, src.address, dst.address,
+                         count=1, timeout=10.0)
+            exp.run()
+            row.append(f"{probe.result.avg * 1e3:.0f}")
+        table.add_row(*row)
+    print(table)
+    print()
+
+
+def two_continent_swarm() -> None:
+    """Seeders sit in continent A; how much slower is continent B?
+
+    The inter-continent latency is 1 s (the Figure 7 topology's worst
+    edge). At that distance a request pipeline of 5 x 16 KiB blocks can
+    no longer cover the bandwidth-delay product (2 s RTT x 250 KiB/s =
+    500 KiB), so cross-continent transfers are latency-throttled — the
+    locality effect the group model exists to study.
+    """
+    spec = TopologySpec("two-continents")
+    spec.add_group("continent-a", "10.1.0.0/16", 11,
+                   down_bw=mbps(2), up_bw=kbps(128), latency=ms(30))
+    spec.add_group("continent-b", "10.2.0.0/16", 10,
+                   down_bw=mbps(2), up_bw=kbps(128), latency=ms(30))
+    spec.add_group("infra", "10.254.0.0/24", 1, latency=ms(1))
+    spec.add_latency("continent-a", "continent-b", 1.0)
+
+    exp = Experiment(
+        "locality", spec, num_pnodes=4, seed=3,
+        trace_categories=("bt.progress", "bt.complete"),
+    )
+    exp.deploy()
+
+    tracker = TrackerServer(exp.vnodes("infra")[0])
+    torrent = Torrent("locality.dat", total_size=4 * MB, tracker_addr=tracker.address)
+    tracker.start()
+
+    group_a = exp.vnodes("continent-a")
+    group_b = exp.vnodes("continent-b")
+    clients = []
+    # One seeder, in continent A only.
+    seeder = BitTorrentClient(group_a[0], torrent, seeder=True)
+    exp.sim.schedule(0.05, seeder.start)
+    for i, vnode in enumerate(group_a[1:] + group_b):
+        client = BitTorrentClient(vnode, torrent)
+        clients.append(client)
+        exp.sim.schedule(0.1 + 2.0 * i, client.start)
+
+    done = {"n": 0}
+
+    def on_complete(_rec):
+        done["n"] += 1
+        if done["n"] == len(clients):
+            exp.sim.stop()
+
+    exp.trace.subscribe("bt.complete", on_complete)
+    exp.run(until=50000)
+
+    first_piece_at = {}
+    for rec in exp.trace.select("bt.progress"):
+        first_piece_at.setdefault(rec.get("node"), rec.time)
+
+    table = Table(
+        ["group", "clients", "mean download (s)", "mean wait for 1st piece (s)"],
+        title="seeder in continent A; 1 s of latency to continent B",
+    )
+    for name, vnodes in (("continent-a", group_a[1:]), ("continent-b", group_b)):
+        mine = [c for c in clients if c.vnode in vnodes]
+        durations = [c.completed_at - c.started_at for c in mine if c.completed_at]
+        waits = [
+            first_piece_at[c.vnode.name] - c.started_at
+            for c in mine
+            if c.vnode.name in first_piece_at
+        ]
+        table.add_row(
+            name,
+            len(mine),
+            sum(durations) / len(durations) if durations else float("nan"),
+            sum(waits) / len(waits) if waits else float("nan"),
+        )
+    print(table)
+    print("(identical bandwidths everywhere, so any difference is pure locality.")
+    print(" The headline finding is BitTorrent's robustness: once continent B")
+    print(" holds a few pieces, its peers trade locally and the 2 s RTT only")
+    print(" taxes the warm-up — exactly the kind of question the paper built")
+    print(" the group model to ask)")
+
+
+def main() -> None:
+    rtt_matrix()
+    two_continent_swarm()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of P2PLab (Nussbaum & Richard, 2006).
+
+*Lightweight emulation to study peer-to-peer systems* built as a
+deterministic discrete-event emulation in pure Python:
+
+* :mod:`repro.sim` — discrete-event kernel;
+* :mod:`repro.hostos` — host-OS scheduler/memory models (platform
+  suitability study, Figures 1-3);
+* :mod:`repro.net` — Dummynet/IPFW-style network emulation with an
+  emulated socket API (Figures 4-6);
+* :mod:`repro.virt` — process-level virtualization (BINDIP libc
+  interception, physical/virtual nodes, folding);
+* :mod:`repro.topology` — the edge-centric network model and its
+  compiler to decentralized per-node firewall rules (Figure 7);
+* :mod:`repro.core` — P2PLab experiment orchestration;
+* :mod:`repro.bittorrent` — a complete BitTorrent implementation used
+  as the studied application (Figures 8-11);
+* :mod:`repro.experiments` — one module per paper figure/table;
+* :mod:`repro.analysis` — series/CDF/table utilities.
+"""
+
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulator", "__version__"]

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro <experiment-id>``.
+
+Runs one of the paper's experiments and prints its report. ``list``
+shows all known ids; ``all`` runs everything (scaled defaults).
+
+Examples::
+
+    python -m repro list
+    python -m repro fig6
+    python -m repro fig8 -- leechers=40 file_size=8388608
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
+    """Parse ``key=value`` overrides with int/float/bool coercion."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"override {pair!r} is not key=value")
+        key, _, raw = pair.partition("=")
+        value: Any
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        overrides[key] = value
+    return overrides
+
+
+def run_one(experiment_id: str, overrides: Dict[str, Any]) -> int:
+    try:
+        entry = get_experiment(experiment_id)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"== {entry.id}: {entry.title} ==")
+    start = time.perf_counter()
+    result = entry.run(**overrides)
+    elapsed = time.perf_counter() - start
+    print(entry.report(result))
+    print(f"[{elapsed:.1f}s wall]")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate a figure/table of the P2PLab paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "overrides",
+        nargs="*",
+        help="key=value parameter overrides passed to the run function",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(i) for i in EXPERIMENTS)
+        for entry in EXPERIMENTS.values():
+            print(f"{entry.id:<{width}}  {entry.title}")
+        return 0
+
+    overrides = _parse_overrides(args.overrides)
+    if args.experiment == "all":
+        status = 0
+        for experiment_id in EXPERIMENTS:
+            status |= run_one(experiment_id, dict(overrides))
+            print()
+        return status
+    return run_one(args.experiment, overrides)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Result post-processing: series utilities, CDFs and text tables."""
+
+from repro.analysis.cdf import empirical_cdf, quantile
+from repro.analysis.series import interpolate_at, max_abs_gap, resample
+from repro.analysis.tables import Table, render_ascii_series
+
+__all__ = [
+    "empirical_cdf",
+    "quantile",
+    "interpolate_at",
+    "resample",
+    "max_abs_gap",
+    "Table",
+    "render_ascii_series",
+]

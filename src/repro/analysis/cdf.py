@@ -1,0 +1,35 @@
+"""Empirical cumulative distribution functions (Figure 3)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """``[(x, F(x))]`` with F the fraction of samples <= x."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(x, (i + 1) / n) for i, x in enumerate(ordered)]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """q-quantile by nearest-rank (q in [0, 1])."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0,1], got {q}")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — the fairness number Figure 3 visualizes."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return (max(values) - min(values)) / mean

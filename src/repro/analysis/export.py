@@ -1,0 +1,110 @@
+"""Export series to gnuplot-style data files.
+
+The paper's figures are gnuplot plots of whitespace-separated data
+files; this module writes exactly those artifacts so a user can
+regenerate publication figures from any experiment:
+
+* ``write_dat`` — one ``x y`` (or ``x y1 y2 ...``) file per series;
+* ``write_gnuplot_script`` — a ``.gp`` driver plotting the files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence, Tuple, Union
+
+Series = Sequence[Tuple[float, float]]
+PathLike = Union[str, pathlib.Path]
+
+
+def write_dat(path: PathLike, series: Series, header: str = "") -> pathlib.Path:
+    """Write one series as ``x y`` lines; returns the path."""
+    path = pathlib.Path(path)
+    lines: List[str] = []
+    if header:
+        lines.append(f"# {header}")
+    for x, y in series:
+        lines.append(f"{x:.6f} {y:.6f}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_multi_dat(
+    path: PathLike,
+    xs: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+    header: str = "",
+) -> pathlib.Path:
+    """Write ``x col1 col2 ...`` rows (one gnuplot file, many curves)."""
+    path = pathlib.Path(path)
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(xs):
+            raise ValueError(f"column {name!r} length mismatch")
+    lines = [f"# x {' '.join(names)}"]
+    if header:
+        lines.insert(0, f"# {header}")
+    for i, x in enumerate(xs):
+        row = " ".join(f"{columns[name][i]:.6f}" for name in names)
+        lines.append(f"{x:.6f} {row}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_gnuplot_script(
+    path: PathLike,
+    dat_files: Dict[str, PathLike],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    output: str = "figure.png",
+    style: str = "linespoints",
+) -> pathlib.Path:
+    """Write a ``.gp`` script plotting the given series files."""
+    path = pathlib.Path(path)
+    plots = ", \\\n     ".join(
+        f"'{pathlib.Path(f).name}' using 1:2 with {style} title '{label}'"
+        for label, f in dat_files.items()
+    )
+    script = "\n".join(
+        [
+            "set terminal png size 900,600",
+            f"set output '{output}'",
+            f"set title '{title}'",
+            f"set xlabel '{xlabel}'",
+            f"set ylabel '{ylabel}'",
+            "set key bottom right",
+            f"plot {plots}",
+            "",
+        ]
+    )
+    path.write_text(script)
+    return path
+
+
+def export_figure(
+    out_dir: PathLike,
+    figure_id: str,
+    curves: Dict[str, Series],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+) -> pathlib.Path:
+    """Write every curve's .dat plus a driving .gp; returns the script
+    path. ``gnuplot <figure_id>.gp`` then regenerates the figure."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dat_files: Dict[str, pathlib.Path] = {}
+    for label, series in curves.items():
+        safe = label.replace(" ", "_").replace("/", "-")
+        dat_files[label] = write_dat(
+            out_dir / f"{figure_id}_{safe}.dat", series, header=f"{figure_id}: {label}"
+        )
+    return write_gnuplot_script(
+        out_dir / f"{figure_id}.gp",
+        dat_files,
+        title=title,
+        xlabel=xlabel,
+        ylabel=ylabel,
+        output=f"{figure_id}.png",
+    )

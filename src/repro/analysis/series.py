@@ -1,0 +1,48 @@
+"""Time-series utilities for comparing experiment runs.
+
+Used by the folding experiment (Figure 9) to quantify "results are
+nearly identical": curves from different foldings are resampled to a
+common grid and compared point-wise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def interpolate_at(series: Series, t: float) -> float:
+    """Step-interpolated value of ``series`` at time ``t``.
+
+    Values before the first point are 0 (nothing had happened yet).
+    """
+    if not series:
+        return 0.0
+    times = [p[0] for p in series]
+    idx = bisect_right(times, t) - 1
+    if idx < 0:
+        return 0.0
+    return series[idx][1]
+
+
+def resample(series: Series, times: Sequence[float]) -> List[float]:
+    """Step-interpolated values at each requested time."""
+    return [interpolate_at(series, t) for t in times]
+
+
+def max_abs_gap(a: Series, b: Series, times: Sequence[float]) -> float:
+    """Maximum absolute difference between two series on a time grid."""
+    va, vb = resample(a, times), resample(b, times)
+    return max(abs(x - y) for x, y in zip(va, vb)) if times else 0.0
+
+
+def relative_gap(a: Series, b: Series, times: Sequence[float]) -> float:
+    """Max |a-b| normalized by the final value of ``a`` (0 if flat)."""
+    if not a:
+        return 0.0
+    final = a[-1][1]
+    if final == 0:
+        return 0.0
+    return max_abs_gap(a, b, times) / final

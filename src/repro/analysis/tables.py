@@ -1,0 +1,90 @@
+"""Aligned text tables and tiny ASCII series plots for bench output.
+
+Each benchmark prints the rows/series its paper figure shows; these
+helpers keep that output readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+
+class Table:
+    """A simple right-aligned text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self._rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_ascii_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A minimal scatter/line rendering of (x, y) points."""
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - xmin) / xspan * (width - 1)))
+        row = min(height - 1, int((y - ymin) / yspan * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {ymin:.3g} .. {ymax:.3g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {xmin:.3g} .. {xmax:.3g}")
+    return "\n".join(lines)

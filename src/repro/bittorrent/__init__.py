@@ -1,0 +1,41 @@
+"""A complete BitTorrent implementation — the paper's studied application.
+
+The paper runs the real BitTorrent 4.0.4 client (Bram Cohen's Python
+mainline) on P2PLab. This subpackage reimplements that client's data
+plane and algorithms on the emulated socket API:
+
+* :mod:`repro.bittorrent.metainfo` — torrent metadata (16 MB file in
+  256 KB pieces for the paper's experiments);
+* :mod:`repro.bittorrent.bitfield` — piece bitfields;
+* :mod:`repro.bittorrent.messages` — the peer wire protocol;
+* :mod:`repro.bittorrent.tracker` — tracker server and announce client;
+* :mod:`repro.bittorrent.piece_picker` — random-first / rarest-first /
+  endgame piece selection;
+* :mod:`repro.bittorrent.choker` — tit-for-tat choking with optimistic
+  unchoke;
+* :mod:`repro.bittorrent.peer` — per-connection protocol state machine;
+* :mod:`repro.bittorrent.client` — the full client (leecher -> seeder);
+* :mod:`repro.bittorrent.swarm` — swarm construction helpers used by
+  the experiments.
+"""
+
+from repro.bittorrent.bencode import bdecode, bencode
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.client import BitTorrentClient, ClientConfig
+from repro.bittorrent.metainfo import Torrent
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+from repro.bittorrent.tracker import TrackerServer
+from repro.bittorrent.udp_tracker import UdpTrackerServer
+
+__all__ = [
+    "Bitfield",
+    "BitTorrentClient",
+    "ClientConfig",
+    "Torrent",
+    "TrackerServer",
+    "UdpTrackerServer",
+    "Swarm",
+    "SwarmConfig",
+    "bencode",
+    "bdecode",
+]

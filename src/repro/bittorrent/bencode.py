@@ -1,0 +1,130 @@
+"""Bencoding (BEP 3): the serialization BitTorrent actually uses.
+
+Metainfo files and HTTP tracker responses are bencoded dictionaries.
+The emulation carries Python objects on the wire for speed, but their
+``wire_size`` accounting is validated against real encodings produced
+here (see tests/test_wire_format.py) — so the bandwidth the emulated
+swarm pays for protocol chatter is the bandwidth the real protocol
+would pay.
+
+Grammar::
+
+    integer:  i<digits>e               i42e, i-7e
+    bytes:    <len>:<raw>              4:spam
+    list:     l<items>e                l4:spami42ee
+    dict:     d<pairs>e                d3:bar4:spam3:fooi42ee
+              (keys are byte strings, sorted)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import ProtocolError
+
+Bencodable = Union[int, bytes, str, list, dict]
+
+
+def bencode(value: Bencodable) -> bytes:
+    """Encode a value; str is encoded as UTF-8 bytes."""
+    out: List[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def _encode(value: Bencodable, out: List[bytes]) -> None:
+    if isinstance(value, bool):
+        # bools are ints in Python; encode faithfully as 0/1.
+        out.append(b"i1e" if value else b"i0e")
+    elif isinstance(value, int):
+        out.append(b"i%de" % value)
+    elif isinstance(value, bytes):
+        out.append(b"%d:" % len(value))
+        out.append(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(value, list):
+        out.append(b"l")
+        for item in value:
+            _encode(item, out)
+        out.append(b"e")
+    elif isinstance(value, dict):
+        out.append(b"d")
+        items: List[Tuple[bytes, Any]] = []
+        for key, item in value.items():
+            if isinstance(key, str):
+                key = key.encode("utf-8")
+            if not isinstance(key, bytes):
+                raise ProtocolError(f"bencode dict keys must be strings, got {key!r}")
+            items.append((key, item))
+        items.sort(key=lambda kv: kv[0])
+        for key, item in items:
+            _encode(key, out)
+            _encode(item, out)
+        out.append(b"e")
+    else:
+        raise ProtocolError(f"cannot bencode {type(value).__name__}")
+
+
+def bdecode(data: bytes) -> Bencodable:
+    """Decode one bencoded value; rejects trailing garbage."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise ProtocolError(f"trailing bytes after bencoded value at {offset}")
+    return value
+
+
+def _decode(data: bytes, i: int) -> Tuple[Bencodable, int]:
+    if i >= len(data):
+        raise ProtocolError("truncated bencoded data")
+    lead = data[i : i + 1]
+    if lead == b"i":
+        end = data.find(b"e", i)
+        if end < 0:
+            raise ProtocolError("unterminated integer")
+        body = data[i + 1 : end]
+        if body in (b"", b"-") or (body.startswith(b"-0")) or (
+            body.startswith(b"0") and len(body) > 1
+        ):
+            raise ProtocolError(f"malformed integer {body!r}")
+        return int(body), end + 1
+    if lead == b"l":
+        items: List[Bencodable] = []
+        i += 1
+        while i < len(data) and data[i : i + 1] != b"e":
+            item, i = _decode(data, i)
+            items.append(item)
+        if i >= len(data):
+            raise ProtocolError("unterminated list")
+        return items, i + 1
+    if lead == b"d":
+        out: Dict[bytes, Bencodable] = {}
+        i += 1
+        last_key = None
+        while i < len(data) and data[i : i + 1] != b"e":
+            key, i = _decode(data, i)
+            if not isinstance(key, bytes):
+                raise ProtocolError("dict key is not a byte string")
+            if last_key is not None and key <= last_key:
+                raise ProtocolError("dict keys out of order")
+            last_key = key
+            value, i = _decode(data, i)
+            out[key] = value
+        if i >= len(data):
+            raise ProtocolError("unterminated dict")
+        return out, i + 1
+    if lead.isdigit():
+        colon = data.find(b":", i)
+        if colon < 0:
+            raise ProtocolError("unterminated string length")
+        length_text = data[i:colon]
+        if length_text.startswith(b"0") and len(length_text) > 1:
+            raise ProtocolError("string length has leading zero")
+        length = int(length_text)
+        end = colon + 1 + length
+        if end > len(data):
+            raise ProtocolError("truncated string")
+        return data[colon + 1 : end], end
+    raise ProtocolError(f"unexpected byte {lead!r} at offset {i}")

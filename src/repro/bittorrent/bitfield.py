@@ -1,0 +1,109 @@
+"""Piece bitfields, backed by a single Python int for O(1) popcount."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import ProtocolError
+
+
+class Bitfield:
+    """Fixed-size bitfield over piece indices."""
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, full: bool = False) -> None:
+        if size <= 0:
+            raise ProtocolError(f"bitfield size must be positive, got {size}")
+        self.size = size
+        self._bits = (1 << size) - 1 if full else 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise ProtocolError(f"bit {index} out of range (size {self.size})")
+
+    def set(self, index: int) -> None:
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def has(self, index: int) -> bool:
+        self._check(index)
+        return bool((self._bits >> index) & 1)
+
+    def __contains__(self, index: int) -> bool:
+        return self.has(index)
+
+    def count(self) -> int:
+        return self._bits.bit_count()
+
+    @property
+    def complete(self) -> bool:
+        return self._bits == (1 << self.size) - 1
+
+    @property
+    def empty(self) -> bool:
+        return self._bits == 0
+
+    def missing(self) -> Iterator[int]:
+        """Indices not yet set."""
+        inv = ~self._bits & ((1 << self.size) - 1)
+        while inv:
+            low = inv & -inv
+            yield low.bit_length() - 1
+            inv ^= low
+
+    def present(self) -> Iterator[int]:
+        """Indices set."""
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def and_not(self, other: "Bitfield") -> Iterator[int]:
+        """Indices set in ``self`` but not in ``other`` (what they have
+        that I need when called on the peer's field)."""
+        if other.size != self.size:
+            raise ProtocolError("bitfield size mismatch")
+        bits = self._bits & ~other._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def any_and_not(self, other: "Bitfield") -> bool:
+        """Fast interest test: does self have anything other lacks?"""
+        if other.size != self.size:
+            raise ProtocolError("bitfield size mismatch")
+        return bool(self._bits & ~other._bits)
+
+    def copy(self) -> "Bitfield":
+        bf = Bitfield(self.size)
+        bf._bits = self._bits
+        return bf
+
+    def fraction(self) -> float:
+        return self.count() / self.size
+
+    def to_list(self) -> List[bool]:
+        return [bool((self._bits >> i) & 1) for i in range(self.size)]
+
+    @property
+    def wire_size(self) -> int:
+        """On-wire size of a bitfield message body (bytes)."""
+        return (self.size + 7) // 8
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bitfield):
+            return self.size == other.size and self._bits == other._bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitfield({self.count()}/{self.size})"

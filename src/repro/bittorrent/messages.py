@@ -1,0 +1,122 @@
+"""Peer wire protocol messages.
+
+Sizes follow the real protocol (BEP 3): 4-byte length prefix + 1-byte
+id + payload; the handshake is 68 bytes. The emulated transport charges
+``wire_size`` against the Dummynet pipes, so control-message overhead
+(e.g. HAVE floods near completion) costs real emulated bandwidth, as it
+did in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from repro.bittorrent.bitfield import Bitfield
+
+HANDSHAKE_SIZE = 68
+
+
+class Message:
+    """Base class; subclasses define ``wire_size``."""
+
+    __slots__ = ()
+    wire_size = 4 + 1
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Handshake(Message):
+    __slots__ = ("infohash", "peer_id")
+    wire_size = HANDSHAKE_SIZE
+
+    def __init__(self, infohash: int, peer_id: str) -> None:
+        self.infohash = infohash
+        self.peer_id = peer_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Handshake(peer_id={self.peer_id!r})"
+
+
+class KeepAlive(Message):
+    __slots__ = ()
+    wire_size = 4
+
+
+class Choke(Message):
+    __slots__ = ()
+
+
+class Unchoke(Message):
+    __slots__ = ()
+
+
+class Interested(Message):
+    __slots__ = ()
+
+
+class NotInterested(Message):
+    __slots__ = ()
+
+
+class Have(Message):
+    __slots__ = ("index",)
+    wire_size = 4 + 1 + 4
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Have({self.index})"
+
+
+class BitfieldMsg(Message):
+    __slots__ = ("bitfield", "wire_size")
+
+    def __init__(self, bitfield: Bitfield) -> None:
+        self.bitfield = bitfield.copy()
+        self.wire_size = 4 + 1 + bitfield.wire_size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BitfieldMsg({self.bitfield!r})"
+
+
+class Request(Message):
+    __slots__ = ("index", "block")
+    wire_size = 4 + 1 + 12
+
+    def __init__(self, index: int, block: int) -> None:
+        self.index = index
+        self.block = block
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Request(piece={self.index}, block={self.block})"
+
+
+class Cancel(Message):
+    __slots__ = ("index", "block")
+    wire_size = 4 + 1 + 12
+
+    def __init__(self, index: int, block: int) -> None:
+        self.index = index
+        self.block = block
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cancel(piece={self.index}, block={self.block})"
+
+
+class Piece(Message):
+    """A data block (the message the experiments' bandwidth goes into)."""
+
+    __slots__ = ("index", "block", "length", "wire_size")
+
+    def __init__(self, index: int, block: int, length: int) -> None:
+        self.index = index
+        self.block = block
+        self.length = length
+        self.wire_size = 4 + 1 + 8 + length
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Piece(piece={self.index}, block={self.block}, {self.length}B)"

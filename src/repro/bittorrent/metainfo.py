@@ -1,0 +1,93 @@
+"""Torrent metadata.
+
+"The file size is not important in BitTorrent, since the file is always
+divided in pieces of 256 KB" — the paper's experiments share one 16 MB
+file in 256 KB pieces. Pieces are transferred in blocks (mainline: 16 KB
+requests); the block size is configurable so large-scale runs can trade
+request granularity for event count (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ProtocolError
+from repro.units import KB, MB
+
+DEFAULT_PIECE_LENGTH = 256 * KB
+DEFAULT_BLOCK_SIZE = 16 * KB
+
+
+class Torrent:
+    """Metadata of one shared file."""
+
+    __slots__ = (
+        "name",
+        "infohash",
+        "total_size",
+        "piece_length",
+        "block_size",
+        "num_pieces",
+        "tracker_addr",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        total_size: int = 16 * MB,
+        piece_length: int = DEFAULT_PIECE_LENGTH,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        tracker_addr: Tuple[object, int] = None,
+        infohash: int = 0,
+    ) -> None:
+        if total_size <= 0:
+            raise ProtocolError(f"total_size must be positive, got {total_size}")
+        if piece_length <= 0 or piece_length > total_size:
+            raise ProtocolError(
+                f"piece_length {piece_length} invalid for size {total_size}"
+            )
+        if block_size <= 0 or block_size > piece_length:
+            raise ProtocolError(
+                f"block_size {block_size} invalid for piece_length {piece_length}"
+            )
+        self.name = name
+        self.infohash = infohash if infohash else hash(name) & 0xFFFFFFFF
+        self.total_size = total_size
+        self.piece_length = piece_length
+        self.block_size = block_size
+        self.num_pieces = -(-total_size // piece_length)  # ceil
+        self.tracker_addr = tracker_addr
+
+    # ------------------------------------------------------------------
+    def piece_size(self, index: int) -> int:
+        """Byte size of piece ``index`` (the last piece may be short)."""
+        self._check_piece(index)
+        if index == self.num_pieces - 1:
+            rem = self.total_size - index * self.piece_length
+            return rem
+        return self.piece_length
+
+    def blocks_in_piece(self, index: int) -> int:
+        return -(-self.piece_size(index) // self.block_size)
+
+    def block_size_of(self, index: int, block: int) -> int:
+        """Byte size of block ``block`` of piece ``index``."""
+        nblocks = self.blocks_in_piece(index)
+        if not 0 <= block < nblocks:
+            raise ProtocolError(f"block {block} out of range for piece {index}")
+        if block == nblocks - 1:
+            return self.piece_size(index) - block * self.block_size
+        return self.block_size
+
+    def total_blocks(self) -> int:
+        return sum(self.blocks_in_piece(i) for i in range(self.num_pieces))
+
+    def _check_piece(self, index: int) -> None:
+        if not 0 <= index < self.num_pieces:
+            raise ProtocolError(f"piece {index} out of range (0..{self.num_pieces - 1})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Torrent({self.name!r}, {self.total_size}B, "
+            f"{self.num_pieces} x {self.piece_length}B pieces)"
+        )

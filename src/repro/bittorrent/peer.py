@@ -1,0 +1,216 @@
+"""Per-connection peer wire protocol state machine.
+
+Each :class:`PeerConnection` mirrors one TCP connection to a remote
+peer: the four classic flags (am_choking / am_interested /
+peer_choking / peer_interested), the peer's bitfield, the in-flight
+request set and two rate meters. Message handling is callback-driven
+(the socket's receive channel is subscribed, not polled by a process)
+so the 5754-client scalability run does not pay one blocked generator
+per connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.bittorrent import messages as msg
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.choker import RateMeter
+from repro.errors import SocketError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bittorrent.client import BitTorrentClient
+
+
+class PeerConnection:
+    """One live connection to a remote peer."""
+
+    __slots__ = (
+        "client",
+        "sock",
+        "initiated",
+        "handshaked",
+        "peer_id",
+        "remote_ip",
+        "am_choking",
+        "am_interested",
+        "peer_choking",
+        "peer_interested",
+        "peer_bitfield",
+        "inflight",
+        "download_meter",
+        "upload_meter",
+        "closed",
+        "messages_in",
+        "cancels_received",
+        "last_piece_at",
+        "first_request_at",
+    )
+
+    def __init__(self, client: "BitTorrentClient", sock, initiated: bool) -> None:
+        self.client = client
+        self.sock = sock
+        self.initiated = initiated
+        self.handshaked = False
+        self.peer_id: Optional[str] = None
+        self.remote_ip = sock.peer[0] if sock.peer else None
+        self.am_choking = True
+        self.am_interested = False
+        self.peer_choking = True
+        self.peer_interested = False
+        self.peer_bitfield = Bitfield(client.torrent.num_pieces)
+        self.inflight: Set[Tuple[int, int]] = set()
+        self.download_meter = RateMeter()
+        self.upload_meter = RateMeter()
+        self.closed = False
+        self.messages_in = 0
+        self.cancels_received = 0
+        self.last_piece_at: float = -1.0
+        self.first_request_at: float = -1.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the protocol: subscribe to incoming messages and, as
+        the initiator, send our handshake immediately."""
+        conn = self.sock.connection
+        if conn is None:
+            self.close()
+            return
+        conn.recv_channel.subscribe(self._on_message)
+        if self.initiated:
+            self.send(msg.Handshake(self.client.torrent.infohash, self.client.peer_id))
+
+    def send(self, message: msg.Message) -> None:
+        if self.closed:
+            return
+        try:
+            self.sock.send(message, message.wire_size)
+        except SocketError:
+            self.close()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._refund_inflight()
+        self.sock.close()
+        self.client.on_peer_closed(self)
+
+    # ------------------------------------------------------------------
+    def local_choke(self) -> None:
+        """Choker decision: stop serving this peer."""
+        if self.am_choking or self.closed:
+            return
+        self.am_choking = True
+        self.send(msg.Choke())
+
+    def local_unchoke(self) -> None:
+        if not self.am_choking or self.closed:
+            return
+        self.am_choking = False
+        self.send(msg.Unchoke())
+
+    def set_interested(self, interested: bool) -> None:
+        if interested == self.am_interested or self.closed:
+            return
+        self.am_interested = interested
+        self.send(msg.Interested() if interested else msg.NotInterested())
+
+    # ------------------------------------------------------------------
+    def _on_message(self, item) -> None:
+        if item is None:
+            self.close()
+            return
+        message, _size = item
+        self.messages_in += 1
+        if isinstance(message, msg.Handshake):
+            self._on_handshake(message)
+            return
+        if not self.handshaked:
+            # Protocol violation: data before handshake.
+            self.close()
+            return
+        kind = type(message)
+        if kind is msg.Piece:
+            self.inflight.discard((message.index, message.block))
+            now = self.client.vnode.sim.now
+            self.last_piece_at = now
+            if not self.inflight:
+                self.first_request_at = -1.0
+            self.download_meter.record(now, message.length)
+            self.client.on_piece(self, message)
+        elif kind is msg.Request:
+            self.client.on_request(self, message)
+        elif kind is msg.Have:
+            self.peer_bitfield.set(message.index)
+            self.client.on_have(self, message.index)
+        elif kind is msg.BitfieldMsg:
+            self.peer_bitfield = message.bitfield
+            self.client.picker.peer_bitfield_added(self.peer_bitfield)
+            self.client.update_interest(self)
+        elif kind is msg.Unchoke:
+            if self.peer_choking:
+                self.peer_choking = False
+                self.client.fill_requests(self)
+        elif kind is msg.Choke:
+            if not self.peer_choking:
+                self.peer_choking = True
+                self._refund_inflight()
+        elif kind is msg.Interested:
+            self.peer_interested = True
+        elif kind is msg.NotInterested:
+            self.peer_interested = False
+        elif kind is msg.Cancel:
+            self.cancels_received += 1
+            # Queued uploads are already in the transport; nothing to do.
+        # KeepAlive: ignored.
+
+    def _on_handshake(self, hs: msg.Handshake) -> None:
+        if hs.infohash != self.client.torrent.infohash:
+            self.close()
+            return
+        self.peer_id = hs.peer_id
+        self.handshaked = True
+        if not self.initiated:
+            # Acceptor replies with its own handshake.
+            self.send(msg.Handshake(self.client.torrent.infohash, self.client.peer_id))
+        # Both sides follow the handshake with their bitfield (a
+        # super-seeder advertises nothing and reveals pieces one HAVE
+        # at a time instead).
+        advertised = self.client.advertised_bitfield()
+        if advertised is not None and not advertised.empty:
+            self.send(msg.BitfieldMsg(advertised))
+        self.client.on_peer_ready(self)
+
+    def snubbed(self, now: float, timeout: float) -> bool:
+        """Mainline anti-snubbing: the peer owes us requested data and
+        has not delivered anything for ``timeout`` seconds. Snubbed
+        peers lose their regular unchoke slot (optimistic only)."""
+        if not self.inflight:
+            return False
+        reference = self.last_piece_at
+        if reference < 0:
+            reference = self.first_request_at
+        return reference >= 0 and (now - reference) > timeout
+
+    def note_request_sent(self, now: float) -> None:
+        if self.first_request_at < 0:
+            self.first_request_at = now
+
+    def _refund_inflight(self) -> None:
+        for index, block in self.inflight:
+            self.client.picker.on_request_failed(index, block)
+        self.inflight.clear()
+        self.first_request_at = -1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            c if f else "-"
+            for c, f in [
+                ("C", self.am_choking),
+                ("I", self.am_interested),
+                ("c", self.peer_choking),
+                ("i", self.peer_interested),
+            ]
+        )
+        return f"PeerConnection({self.remote_ip}, {flags}, inflight={len(self.inflight)})"

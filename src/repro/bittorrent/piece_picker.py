@@ -1,0 +1,216 @@
+"""Piece selection: random-first, strict-priority partials, rarest-first,
+endgame — the mainline BitTorrent 4.x policy set.
+
+* until :attr:`random_first` pieces are complete, pick a random piece
+  the peer has (get *something* to trade quickly);
+* always prefer finishing an already-started piece (strict priority);
+* otherwise pick among the rarest pieces the peer has (availability
+  counted from bitfields and HAVEs), breaking ties randomly;
+* when every missing block is already requested, enter endgame mode:
+  re-request outstanding blocks from additional peers (bounded
+  duplication) and cancel on arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.metainfo import Torrent
+from repro.errors import ProtocolError
+
+#: Maximum concurrent requests for the same block in endgame mode.
+ENDGAME_DUPLICATION = 2
+
+
+class _PartialPiece:
+    """Download state of one in-progress piece."""
+
+    __slots__ = ("index", "nblocks", "received", "requested")
+
+    def __init__(self, index: int, nblocks: int) -> None:
+        self.index = index
+        self.nblocks = nblocks
+        self.received: Set[int] = set()
+        self.requested: Dict[int, int] = {}  # block -> outstanding request count
+
+    def next_fresh_block(self) -> Optional[int]:
+        for b in range(self.nblocks):
+            if b not in self.received and b not in self.requested:
+                return b
+        return None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.nblocks
+
+
+class PiecePicker:
+    """Chooses the next (piece, block) to request from a given peer."""
+
+    def __init__(
+        self,
+        torrent: Torrent,
+        have: Bitfield,
+        rng,
+        random_first: int = 4,
+        endgame_enabled: bool = True,
+    ) -> None:
+        self.torrent = torrent
+        self.have = have
+        self.rng = rng
+        self.random_first = random_first
+        self.endgame_enabled = endgame_enabled
+        self.availability: List[int] = [0] * torrent.num_pieces
+        self._partials: Dict[int, _PartialPiece] = {}
+        self.blocks_received = 0
+        self.duplicate_blocks = 0
+
+    # -- availability accounting ------------------------------------------
+    def peer_has(self, index: int) -> None:
+        self.availability[index] += 1
+
+    def peer_bitfield_added(self, bf: Bitfield) -> None:
+        for i in bf.present():
+            self.availability[i] += 1
+
+    def peer_bitfield_removed(self, bf: Bitfield) -> None:
+        for i in bf.present():
+            self.availability[i] -= 1
+
+    # -- interest -----------------------------------------------------------
+    def interesting(self, peer_bf: Bitfield) -> bool:
+        """Does the peer have any piece I still need?"""
+        return peer_bf.any_and_not(self.have)
+
+    # -- request selection -----------------------------------------------------
+    @property
+    def endgame(self) -> bool:
+        """All missing blocks have outstanding requests."""
+        if not self.endgame_enabled or self.have.complete:
+            return False
+        for index in self.have.missing():
+            partial = self._partials.get(index)
+            if partial is None:
+                return False
+            if partial.next_fresh_block() is not None:
+                return False
+        return True
+
+    def next_request(
+        self,
+        peer_bf: Bitfield,
+        exclude: Optional[Set[Tuple[int, int]]] = None,
+    ) -> Optional[Tuple[int, int]]:
+        """The next (piece, block) to request from this peer, or None.
+
+        ``exclude`` holds blocks already in flight *to this peer*, so
+        endgame duplication never re-requests a block from the same
+        peer twice.
+        """
+        # 1. Continue a started piece the peer has (strict priority).
+        for index, partial in self._partials.items():
+            if index in peer_bf:
+                block = partial.next_fresh_block()
+                if block is not None:
+                    partial.requested[block] = partial.requested.get(block, 0) + 1
+                    return index, block
+
+        # 2. Start a new piece.
+        candidates = [i for i in peer_bf.and_not(self.have) if i not in self._partials]
+        if candidates:
+            if self.have.count() < self.random_first:
+                index = self.rng.choice(candidates)
+            else:
+                lowest = min(self.availability[i] for i in candidates)
+                rarest = [i for i in candidates if self.availability[i] == lowest]
+                index = self.rng.choice(rarest)
+            partial = _PartialPiece(index, self.torrent.blocks_in_piece(index))
+            self._partials[index] = partial
+            block = partial.next_fresh_block()
+            assert block is not None
+            partial.requested[block] = 1
+            return index, block
+
+        # 3. Endgame: duplicate an outstanding request (bounded).
+        if self.endgame:
+            best: Optional[Tuple[int, int, int]] = None  # (count, piece, block)
+            for index, partial in self._partials.items():
+                if index not in peer_bf:
+                    continue
+                for block, count in partial.requested.items():
+                    if block in partial.received or count >= ENDGAME_DUPLICATION:
+                        continue
+                    if exclude is not None and (index, block) in exclude:
+                        continue
+                    if best is None or count < best[0]:
+                        best = (count, index, block)
+            if best is not None:
+                _, index, block = best
+                self._partials[index].requested[block] += 1
+                return index, block
+        return None
+
+    # -- results --------------------------------------------------------------
+    def on_block(self, index: int, block: int) -> str:
+        """Record a received block; returns ``"piece"`` when the piece
+        completed, ``"block"`` for a normal block, ``"dup"`` for a
+        duplicate (endgame/cross-request)."""
+        if index in self.have:
+            self.duplicate_blocks += 1
+            return "dup"
+        partial = self._partials.get(index)
+        if partial is None:
+            # Unsolicited block (peer pushed without request); accept it.
+            partial = _PartialPiece(index, self.torrent.blocks_in_piece(index))
+            self._partials[index] = partial
+        if block in partial.received:
+            self.duplicate_blocks += 1
+            return "dup"
+        partial.received.add(block)
+        partial.requested.pop(block, None)
+        self.blocks_received += 1
+        if partial.complete:
+            del self._partials[index]
+            self.have.set(index)
+            return "piece"
+        return "block"
+
+    def on_request_failed(self, index: int, block: int) -> None:
+        """A request will not be answered (choke/disconnect): allow
+        the block to be requested again."""
+        partial = self._partials.get(index)
+        if partial is None:
+            return
+        count = partial.requested.get(block)
+        if count is None:
+            return
+        if count <= 1:
+            del partial.requested[block]
+        else:
+            partial.requested[block] = count - 1
+
+    def discard_piece(self, index: int) -> None:
+        """Drop a fully-received piece (failed hash check): its blocks
+        become requestable again from scratch."""
+        self.have.clear(index)
+        self._partials.pop(index, None)
+
+    def outstanding_for(self, index: int, block: int) -> int:
+        partial = self._partials.get(index)
+        if partial is None:
+            return 0
+        return partial.requested.get(block, 0)
+
+    @property
+    def partial_count(self) -> int:
+        return len(self._partials)
+
+    def remaining_blocks(self) -> int:
+        """Blocks still needed (not yet received)."""
+        total = 0
+        for index in self.have.missing():
+            partial = self._partials.get(index)
+            nblocks = self.torrent.blocks_in_piece(index)
+            total += nblocks - (len(partial.received) if partial else 0)
+        return total

@@ -1,0 +1,73 @@
+"""Extract figure-shaped series from the experiment trace.
+
+The paper's methodology: the client "was slightly modified to allow
+data collection (a time-stamp was added to the default output)" and the
+figures are built from those logs. Here the logs are
+:class:`~repro.sim.trace.TraceRecord` streams; these functions turn
+them into the series each figure plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import TraceRecorder
+
+Series = List[Tuple[float, float]]
+
+
+def progress_series(trace: TraceRecorder, node: Optional[str] = None) -> Dict[str, Series]:
+    """Per-client download progress curves (Figures 8 and 10).
+
+    Returns ``{node: [(time, percent), ...]}`` from ``bt.progress``.
+    """
+    out: Dict[str, Series] = {}
+    for rec in trace.select("bt.progress"):
+        rec_node = rec.get("node")
+        if node is not None and rec_node != node:
+            continue
+        out.setdefault(rec_node, []).append((rec.time, rec.get("pct")))
+    return out
+
+
+def completion_curve(trace: TraceRecorder) -> Series:
+    """Clients-having-completed-over-time step curve (Figure 11)."""
+    times = sorted(rec.time for rec in trace.select("bt.complete"))
+    return [(t, float(i + 1)) for i, t in enumerate(times)]
+
+
+def total_payload_curve(trace: TraceRecorder, bucket: float = 10.0) -> Series:
+    """Total payload received by all clients vs time (Figure 9).
+
+    Sampled at ``bucket``-second boundaries; the y value is cumulative
+    bytes of verified piece payload across all clients.
+    """
+    events: List[Tuple[float, int]] = []
+    last_payload: Dict[str, int] = {}
+    for rec in trace.select("bt.progress"):
+        node = rec.get("node")
+        payload = rec.get("payload")
+        delta = payload - last_payload.get(node, 0)
+        last_payload[node] = payload
+        events.append((rec.time, delta))
+    events.sort()
+    out: Series = []
+    cumulative = 0.0
+    edge = bucket
+    for t, delta in events:
+        while t > edge:
+            out.append((edge, cumulative))
+            edge += bucket
+        cumulative += delta
+    out.append((edge, cumulative))
+    return out
+
+
+def completion_times(trace: TraceRecorder) -> List[float]:
+    """Sorted absolute completion times of all clients."""
+    return sorted(rec.time for rec in trace.select("bt.complete"))
+
+
+def selected_nodes(names: Sequence[str], every: int) -> List[str]:
+    """Every ``every``-th node name (Figure 10 plots nodes 50, 100, ...)."""
+    return [name for i, name in enumerate(names, start=1) if i % every == 0]

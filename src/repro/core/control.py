@@ -1,0 +1,179 @@
+"""The experiment control plane over the administration network.
+
+P2PLab keeps "the main IP address of each physical system ... for
+administration purposes" (paper Fig. 4): experiment orchestration —
+deploying configurations, starting and stopping applications — travels
+over the admin subnet, not the emulated one. This module models that
+control plane so orchestration *costs emulated time* like everything
+else:
+
+* a :class:`ControlDaemon` on every physical node accepts commands on
+  the admin address (think sshd);
+* a :class:`Console` — the experimenter's frontend node — executes
+  commands on one node or broadcasts to all of them, sequentially (one
+  at a time, like a naive shell loop) or in parallel (like a
+  tree/parallel launcher).
+
+Commands are Python callables executed *at* the physical node —
+``fn(pnode, *args)`` — with the call and its result carried as
+emulated TCP messages of configurable size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.net.socket_api import Socket, raise_if_error
+from repro.net.stack import NetworkStack
+from repro.sim.process import Process, Signal
+from repro.virt.deployment import Testbed
+from repro.virt.pnode import PhysicalNode
+
+CONTROL_PORT = 2222
+
+#: Nominal wire size of a control command / reply (an ssh exec + ack).
+COMMAND_SIZE = 512
+REPLY_SIZE = 256
+
+Command = Callable[..., Any]
+
+
+class ControlDaemon:
+    """Per-pnode command executor listening on the admin address."""
+
+    def __init__(self, pnode: PhysicalNode, port: int = CONTROL_PORT) -> None:
+        self.pnode = pnode
+        self.port = port
+        self.commands_executed = 0
+        self.stopped = False
+        self._proc: Optional[Process] = None
+
+    def start(self) -> None:
+        self._proc = Process(
+            self.pnode.sim, self._app(), name=f"{self.pnode.name}/controld"
+        )
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def _app(self):
+        sock = Socket(self.pnode.stack)
+        sock.bind((self.pnode.admin_address, self.port))
+        sock.listen(backlog=64)
+        while not self.stopped:
+            conn = yield sock.accept()
+            if conn is None:
+                return
+            Process(self.pnode.sim, self._serve(conn), name=f"{self.pnode.name}/ctl")
+
+    def _serve(self, conn: Socket):
+        item = yield conn.recv()
+        if item is not None:
+            (fn, args), _size = item
+            result = fn(self.pnode, *args)
+            self.commands_executed += 1
+            yield conn.send(("ok", result), REPLY_SIZE)
+        conn.close()
+
+
+class Console:
+    """The experimenter's frontend: runs commands on physical nodes."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        address: str = "192.168.38.250",
+        port: int = CONTROL_PORT,
+    ) -> None:
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.port = port
+        self.stack = NetworkStack(self.sim, "console", switch=testbed.switch)
+        self.stack.set_admin_address(address)
+        self.daemons: List[ControlDaemon] = []
+
+    def start_daemons(self) -> None:
+        """Start a control daemon on every physical node."""
+        for pnode in self.testbed.pnodes:
+            daemon = ControlDaemon(pnode, port=self.port)
+            daemon.start()
+            self.daemons.append(daemon)
+
+    # ------------------------------------------------------------------
+    def _execute_gen(self, pnode: PhysicalNode, fn: Command, args: tuple):
+        sock = Socket(self.stack)
+        result = yield sock.connect((pnode.admin_address, self.port))
+        raise_if_error(result)
+        yield sock.send((fn, args), COMMAND_SIZE)
+        item = yield sock.recv()
+        sock.close()
+        if item is None:
+            raise ExperimentError(f"control connection to {pnode.name} reset")
+        (status, payload), _size = item
+        if status != "ok":
+            raise ExperimentError(f"command failed on {pnode.name}: {payload!r}")
+        return payload
+
+    def execute(self, pnode: PhysicalNode, fn: Command, *args: Any) -> Process:
+        """Run ``fn(pnode, *args)`` on one node; join the returned
+        process (its ``result`` is the command's return value)."""
+        return Process(
+            self.sim,
+            self._execute_gen(pnode, fn, args),
+            name=f"console->{pnode.name}",
+        )
+
+    def broadcast(
+        self,
+        fn: Command,
+        *args: Any,
+        parallel: bool = True,
+        pnodes: Optional[Sequence[PhysicalNode]] = None,
+    ) -> Process:
+        """Run a command on every node; returns a process whose result
+        is the list of per-node results (in pnode order).
+
+        ``parallel=False`` contacts nodes one at a time — the naive
+        for-loop-over-ssh deployment whose latency grows linearly with
+        the cluster, which is why real launchers parallelize.
+        """
+        targets = list(pnodes) if pnodes is not None else list(self.testbed.pnodes)
+
+        def gen():
+            if parallel:
+                procs = [self.execute(p, fn, *args) for p in targets]
+                results = []
+                for proc in procs:
+                    value = yield proc
+                    results.append(value)
+                return results
+            results = []
+            for p in targets:
+                value = yield self.execute(p, fn, *args)
+                results.append(value)
+            return results
+
+        return Process(self.sim, gen(), name="console/broadcast")
+
+
+# ----------------------------------------------------------------------
+# Ready-made commands.
+# ----------------------------------------------------------------------
+
+def cmd_hostname(pnode: PhysicalNode) -> str:
+    """Like running ``hostname`` everywhere: the liveness check."""
+    return pnode.name
+
+
+def cmd_vnode_count(pnode: PhysicalNode) -> int:
+    return pnode.folding_ratio
+
+
+def cmd_spawn_app(pnode: PhysicalNode, vnode_name: str, app) -> str:
+    """Start an application on a hosted virtual node."""
+    vnode = pnode.vnodes.get(vnode_name)
+    if vnode is None:
+        raise ExperimentError(f"no vnode {vnode_name!r} on {pnode.name}")
+    vnode.spawn(app)
+    return vnode_name

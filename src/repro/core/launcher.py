@@ -1,0 +1,37 @@
+"""Staggered application launches.
+
+The paper starts its BitTorrent clients at fixed intervals ("clients
+are started with a 10s interval"; "every 0.25s" in the scalability
+run); this helper encodes that pattern for any application.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.process import Process
+from repro.virt.vnode import AppFactory, VirtualNode
+
+
+def staggered_launch(
+    vnodes: Sequence[VirtualNode],
+    app: AppFactory,
+    interval: float,
+    start: float = 0.0,
+    name: Optional[Callable[[VirtualNode], str]] = None,
+) -> List[Process]:
+    """Start ``app`` on each vnode, ``interval`` seconds apart.
+
+    Returns the spawned processes in launch order.
+    """
+    procs: List[Process] = []
+    for i, vnode in enumerate(vnodes):
+        delay = start + i * interval - vnode.sim.now
+        procs.append(
+            vnode.spawn(
+                app,
+                start_delay=max(0.0, delay),
+                name=name(vnode) if name else None,
+            )
+        )
+    return procs

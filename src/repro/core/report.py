@@ -1,0 +1,85 @@
+"""Figure-shaped summaries of swarm experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.collector import completion_times, progress_series
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class SwarmSummary:
+    """Headline numbers of one BitTorrent swarm run."""
+
+    clients: int
+    first_completion: float
+    median_completion: float
+    last_completion: float
+    mean_download_time: float
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        return [
+            ("clients", self.clients),
+            ("first completion (s)", self.first_completion),
+            ("median completion (s)", self.median_completion),
+            ("last completion (s)", self.last_completion),
+            ("mean download time (s)", self.mean_download_time),
+        ]
+
+
+def summarize_swarm(trace: TraceRecorder) -> SwarmSummary:
+    """Build the summary from bt.complete records."""
+    times = completion_times(trace)
+    if not times:
+        raise ValueError("no completions recorded")
+    durations = [rec.get("duration") for rec in trace.select("bt.complete")]
+    return SwarmSummary(
+        clients=len(times),
+        first_completion=times[0],
+        median_completion=times[len(times) // 2],
+        last_completion=times[-1],
+        mean_download_time=sum(durations) / len(durations),
+    )
+
+
+def download_phases(trace: TraceRecorder, node: str) -> Dict[str, float]:
+    """Split one client's download into the paper's three phases.
+
+    Figure 8's narrative: a first (short) part where "only initial
+    seeders are able to upload data", a second where "all downloaders
+    start contributing", and a third where "the first downloaders
+    become seeders and help other peers finish faster". Proxy used
+    here: time to first piece, time from first piece to 50%, and time
+    from 50% to completion.
+    """
+    series = progress_series(trace, node).get(node, [])
+    if not series:
+        return {}
+    t_first = series[0][0]
+    t_half = next((t for t, pct in series if pct >= 50.0), series[-1][0])
+    t_done = series[-1][0]
+    return {
+        "first_piece": t_first,
+        "to_half": t_half - t_first,
+        "to_done": t_done - t_half,
+    }
+
+
+def sample_progress(
+    trace: TraceRecorder, every: int
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Progress curves of every ``every``-th client, by start order —
+    how Figure 10 plots "nodes 50, 100, 150, ... 5750"."""
+    all_series = progress_series(trace)
+
+    def start_key(item: Tuple[str, List[Tuple[float, float]]]) -> float:
+        return item[1][0][0]
+
+    ordered = sorted(all_series.items(), key=start_key)
+    return {
+        name: series
+        for i, (name, series) in enumerate(ordered, start=1)
+        if i % every == 0
+    }

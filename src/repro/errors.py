@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch emulation failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-emulation errors."""
+
+
+class AddressError(NetworkError):
+    """Malformed or out-of-range IPv4 address/prefix."""
+
+
+class RoutingError(NetworkError):
+    """No route / unknown destination in the emulated network."""
+
+
+class SocketError(NetworkError):
+    """Errors raised by the emulated socket API (cf. POSIX errno)."""
+
+    def __init__(self, errno_name: str, message: str = "") -> None:
+        self.errno_name = errno_name
+        super().__init__(f"{errno_name}: {message}" if message else errno_name)
+
+
+class ConnectionRefused(SocketError):
+    """No listener on the destination address/port."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("ECONNREFUSED", message)
+
+
+class ConnectionReset(SocketError):
+    """Peer closed the connection abruptly."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("ECONNRESET", message)
+
+
+class AddressInUse(SocketError):
+    """bind() to an address/port already bound."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("EADDRINUSE", message)
+
+
+class AddressNotAvailable(SocketError):
+    """bind() to an address not configured on any local interface."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("EADDRNOTAVAIL", message)
+
+
+class InvalidSocketState(SocketError):
+    """Operation invalid for the socket's current state (EINVAL/ENOTCONN)."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("EINVAL", message)
+
+
+class FirewallError(NetworkError):
+    """Invalid firewall/pipe configuration."""
+
+
+class VirtualizationError(ReproError):
+    """Errors in virtual-node management (placement, identity, libc)."""
+
+
+class TopologyError(ReproError):
+    """Inconsistent topology specification."""
+
+
+class ExperimentError(ReproError):
+    """Errors in experiment orchestration."""
+
+
+class SchedulerError(ReproError):
+    """Errors in the host-OS scheduler models."""
+
+
+class ProtocolError(ReproError):
+    """BitTorrent wire-protocol violation."""
+
+
+class TrackerError(ReproError):
+    """Tracker announce failure."""

@@ -1,0 +1,119 @@
+"""Figures 10 and 11: the 5754-client scalability run.
+
+Paper setup: 5760 virtual nodes (5754 clients, 4 seeders, one tracker)
+on 180 physical nodes (32 vnodes per pnode); 16 MB file; clients
+started every 0.25 s; finished clients keep seeding. Figure 10 plots
+the progress of every 50th client; Figure 11 the number of completed
+clients over time. Expected shape: "most clients finish their
+downloads nearly at the same time" — a steep completion ramp.
+
+The full-scale run is minutes of wall time; ``run_fig10`` scales every
+dimension with one ``scale`` parameter (1.0 = paper scale) while
+keeping the 32-vnodes-per-pnode folding. For scaled runs the block
+size is raised to one block per piece, trading request granularity for
+event count (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import Table
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+from repro.core.collector import completion_curve
+from repro.core.report import sample_progress
+from repro.units import KB, MB
+
+Series = List[Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    clients: int
+    pnodes: int
+    vnodes_per_pnode: int
+    selected_progress: Dict[str, Series]  # Figure 10
+    completion: Series  # Figure 11
+    first_completion: float
+    last_completion: float
+    median_completion: float
+
+    @property
+    def bulk_window(self) -> float:
+        """Seconds between the 10th and 90th percentile completions —
+        how long the *bulk* of the swarm takes to drain."""
+        if not self.completion:
+            return 0.0
+        times = [t for t, _ in self.completion]
+        lo = times[int(0.10 * (len(times) - 1))]
+        hi = times[int(0.90 * (len(times) - 1))]
+        return hi - lo
+
+    @property
+    def ramp_steepness(self) -> float:
+        """1 − bulk_window / last_completion: 'most clients finish
+        their downloads nearly at the same time' shows up as a value
+        close to 1 (80% of the swarm drains in a small slice of the
+        experiment's duration)."""
+        if not self.completion or self.last_completion <= 0:
+            return 0.0
+        return 1.0 - self.bulk_window / self.last_completion
+
+
+def run_fig10(
+    scale: float = 0.1,
+    stagger: float = 0.25,
+    file_size: int = 16 * MB,
+    seed: int = 0,
+    max_time: float = 30000.0,
+    select_every: int = 50,
+) -> Fig10Result:
+    """Run the scalability experiment at ``scale`` x 5754 clients."""
+    leechers = max(10, round(5754 * scale))
+    pnodes = max(1, -(-(leechers + 5) // 32))  # keep 32 vnodes per pnode
+    config = SwarmConfig(
+        leechers=leechers,
+        seeders=4,
+        file_size=file_size,
+        # One block per piece keeps the event count tractable at scale.
+        piece_length=256 * KB,
+        block_size=256 * KB,
+        stagger=stagger,
+        num_pnodes=pnodes,
+        seed=seed,
+        prefix="10.0.0.0/8",
+    )
+    swarm = Swarm(config)
+    last = swarm.run(max_time=max_time)
+    trace = swarm.sim.trace
+    completion = completion_curve(trace)
+    times = [t for t, _ in completion]
+    selected = sample_progress(trace, every=max(1, min(select_every, leechers // 10)))
+    return Fig10Result(
+        clients=leechers,
+        pnodes=pnodes,
+        vnodes_per_pnode=-(-(leechers + 5) // pnodes),
+        selected_progress=selected,
+        completion=completion,
+        first_completion=times[0],
+        last_completion=last,
+        median_completion=times[len(times) // 2],
+    )
+
+
+def print_report(result: Fig10Result) -> str:
+    table = Table(
+        ["metric", "value"],
+        title=(
+            f"Figures 10/11: scalability run, {result.clients} clients on "
+            f"{result.pnodes} pnodes (~{result.vnodes_per_pnode} vnodes/pnode)"
+        ),
+    )
+    table.add_row("first completion (s)", result.first_completion)
+    table.add_row("median completion (s)", result.median_completion)
+    table.add_row("last completion (s)", result.last_completion)
+    table.add_row("bulk (p10-p90) window (s)", result.bulk_window)
+    table.add_row("completion ramp steepness", result.ramp_steepness)
+    table.add_row("selected clients plotted", len(result.selected_progress))
+    return table.render()

@@ -1,0 +1,35 @@
+"""The three OS configurations compared by the suitability study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.hostos.memory import POLICY_GRACEFUL, POLICY_THRASH, MemoryModel
+from repro.hostos.scheduler import (
+    Bsd4Scheduler,
+    Linux26Scheduler,
+    Scheduler,
+    UleScheduler,
+)
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """A scheduler + memory-management pairing (one curve per figure)."""
+
+    label: str
+    make_scheduler: Callable[[], Scheduler]
+    memory_policy: str
+
+    def make_memory(self, ram_mb: float = 2048.0) -> MemoryModel:
+        return MemoryModel(ram_mb=ram_mb, policy=self.memory_policy)
+
+
+#: The three curves of Figures 1-3. FreeBSD runs both of its
+#: schedulers; memory behaviour is per-OS, not per-scheduler.
+PROFILES: Dict[str, OsProfile] = {
+    "ULE scheduler": OsProfile("ULE scheduler", UleScheduler, POLICY_THRASH),
+    "4BSD scheduler": OsProfile("4BSD scheduler", Bsd4Scheduler, POLICY_THRASH),
+    "Linux 2.6": OsProfile("Linux 2.6", Linux26Scheduler, POLICY_GRACEFUL),
+}

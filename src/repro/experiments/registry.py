@@ -1,0 +1,160 @@
+"""Registry mapping experiment ids to their run/report entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig1_cpu_scalability,
+    fig2_memory_pressure,
+    fig3_fairness,
+    fig6_rule_scaling,
+    fig7_topology,
+    fig8_download_evolution,
+    fig9_folding,
+    fig10_scalability,
+    fig11_completion,
+    tbl_alias_overhead,
+    tbl_connect_overhead,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper artefact."""
+
+    id: str
+    title: str
+    run: Callable[..., object]
+    report: Callable[[object], str]
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    e.id: e
+    for e in [
+        ExperimentEntry(
+            "fig1",
+            "CPU-bound process scalability",
+            fig1_cpu_scalability.run_fig1,
+            fig1_cpu_scalability.print_report,
+        ),
+        ExperimentEntry(
+            "fig2",
+            "Memory-intensive processes and swap",
+            fig2_memory_pressure.run_fig2,
+            fig2_memory_pressure.print_report,
+        ),
+        ExperimentEntry(
+            "fig3",
+            "Scheduler fairness CDFs",
+            fig3_fairness.run_fig3,
+            fig3_fairness.print_report,
+        ),
+        ExperimentEntry(
+            "tblA",
+            "libc interception connect overhead",
+            tbl_connect_overhead.run_connect_overhead,
+            tbl_connect_overhead.print_report,
+        ),
+        ExperimentEntry(
+            "tblB",
+            "interface alias overhead",
+            tbl_alias_overhead.run_alias_overhead,
+            tbl_alias_overhead.print_report,
+        ),
+        ExperimentEntry(
+            "fig6",
+            "RTT vs firewall rule count",
+            fig6_rule_scaling.run_fig6,
+            fig6_rule_scaling.print_report,
+        ),
+        ExperimentEntry(
+            "fig7",
+            "Hierarchical topology emulation",
+            fig7_topology.run_fig7,
+            fig7_topology.print_report,
+        ),
+        ExperimentEntry(
+            "fig8",
+            "160-client BitTorrent download evolution",
+            fig8_download_evolution.run_fig8,
+            fig8_download_evolution.print_report,
+        ),
+        ExperimentEntry(
+            "fig9",
+            "Folding ratio",
+            fig9_folding.run_fig9,
+            fig9_folding.print_report,
+        ),
+        ExperimentEntry(
+            "fig10",
+            "5754-client scalability (progress)",
+            fig10_scalability.run_fig10,
+            fig10_scalability.print_report,
+        ),
+        ExperimentEntry(
+            "fig11",
+            "5754-client scalability (completions)",
+            fig11_completion.run_fig11,
+            fig11_completion.print_report,
+        ),
+        ExperimentEntry(
+            "abl-rule-lookup",
+            "Linear vs hash-indexed firewall",
+            ablations.run_rule_lookup_ablation,
+            ablations.print_rule_lookup_report,
+        ),
+        ExperimentEntry(
+            "abl-uplink",
+            "Folding overhead from port saturation",
+            ablations.run_uplink_saturation_ablation,
+            ablations.print_uplink_report,
+        ),
+        ExperimentEntry(
+            "abl-choker",
+            "Tit-for-tat on/off",
+            ablations.run_choker_ablation,
+            ablations.print_choker_report,
+        ),
+        ExperimentEntry(
+            "abl-stagger",
+            "Client start stagger",
+            ablations.run_stagger_ablation,
+            ablations.print_stagger_report,
+        ),
+        ExperimentEntry(
+            "abl-acks",
+            "Explicit TCP ACKs vs window-credit shortcut",
+            ablations.run_ack_ablation,
+            ablations.print_ack_report,
+        ),
+        ExperimentEntry(
+            "abl-ule-gen",
+            "ULE fairness: FreeBSD 5 vs 6",
+            ablations.run_ule_generation_ablation,
+            ablations.print_ule_generation_report,
+        ),
+        ExperimentEntry(
+            "abl-superseed",
+            "Super-seeding vs normal initial seeding",
+            ablations.run_superseed_ablation,
+            ablations.print_superseed_report,
+        ),
+        ExperimentEntry(
+            "abl-departure",
+            "Stay-and-seed vs selfish departure",
+            ablations.run_departure_ablation,
+            ablations.print_departure_report,
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None

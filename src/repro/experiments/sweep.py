@@ -1,0 +1,77 @@
+"""Seed sweeps: quantify run-to-run variability.
+
+BitTorrent swarm dynamics are chaotic — tiny timing differences change
+which peers trade with whom — so single-run comparisons (e.g. between
+foldings in Figure 9) are meaningful only against the seed-to-seed
+envelope. This module measures that envelope.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.bittorrent.swarm import Swarm, SwarmConfig
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Distribution of one scalar metric over seeds."""
+
+    metric: str
+    seeds: Tuple[int, ...]
+    values: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return statistics.mean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.values) if len(self.values) > 1 else 0.0
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / mean: the chaos envelope other comparisons
+        must clear to be significant."""
+        mean = self.mean
+        return (max(self.values) - min(self.values)) / mean if mean else 0.0
+
+    def within_envelope(self, value: float, slack: float = 1.0) -> bool:
+        """Is ``value`` indistinguishable from seed noise? True when it
+        lies within the sweep's min/max widened by ``slack`` stdevs."""
+        lo = min(self.values) - slack * self.stdev
+        hi = max(self.values) + slack * self.stdev
+        return lo <= value <= hi
+
+
+def sweep_swarm(
+    config: SwarmConfig,
+    seeds: Sequence[int],
+    metric: Callable[[Swarm, float], float] = None,
+    metric_name: str = "last_completion",
+    max_time: float = 50000.0,
+) -> SweepResult:
+    """Run the same swarm across seeds, collecting one metric.
+
+    The default metric is the last completion time; pass any
+    ``metric(swarm, last_completion) -> float`` for others.
+    """
+    values = []
+    for seed in seeds:
+        swarm = Swarm(replace(config, seed=seed))
+        last = swarm.run(max_time=max_time)
+        values.append(metric(swarm, last) if metric is not None else last)
+    return SweepResult(
+        metric=metric_name, seeds=tuple(seeds), values=tuple(values)
+    )
+
+
+def median_download_metric(swarm: Swarm, _last: float) -> float:
+    durations = sorted(
+        c.completed_at - (c.started_at or 0.0)
+        for c in swarm.leechers
+        if c.completed_at is not None
+    )
+    return durations[len(durations) // 2]

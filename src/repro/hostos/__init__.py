@@ -1,0 +1,40 @@
+"""Host operating-system model (paper, "Suitability of FreeBSD").
+
+Before building P2PLab the authors verified that FreeBSD can run very
+many concurrent processes fairly: Figure 1 (CPU-bound scalability),
+Figure 2 (memory-bound workloads and swap behaviour) and Figure 3
+(fairness CDF of 100 concurrent instances), comparing FreeBSD's 4BSD
+and ULE schedulers with Linux 2.6.
+
+This subpackage rebuilds that study as a quantum-granularity scheduler
+simulation:
+
+* :mod:`repro.hostos.task` — task descriptions and results;
+* :mod:`repro.hostos.memory` — RAM/swap model with per-OS paging policy;
+* :mod:`repro.hostos.scheduler` — 4BSD / ULE / Linux 2.6 models;
+* :mod:`repro.hostos.machine` — a multi-CPU machine running tasks;
+* :mod:`repro.hostos.workloads` — the paper's two benchmark programs.
+"""
+
+from repro.hostos.machine import Machine
+from repro.hostos.memory import MemoryModel, POLICY_GRACEFUL, POLICY_THRASH
+from repro.hostos.scheduler import Bsd4Scheduler, Linux26Scheduler, UleScheduler
+from repro.hostos.suitability import SuitabilityReport, check_suitability
+from repro.hostos.task import Task, TaskResult
+from repro.hostos.workloads import ackermann_task, matrix_task
+
+__all__ = [
+    "Machine",
+    "MemoryModel",
+    "POLICY_GRACEFUL",
+    "POLICY_THRASH",
+    "Bsd4Scheduler",
+    "UleScheduler",
+    "Linux26Scheduler",
+    "Task",
+    "TaskResult",
+    "ackermann_task",
+    "matrix_task",
+    "check_suitability",
+    "SuitabilityReport",
+]

@@ -1,0 +1,166 @@
+"""A multi-CPU machine executing tasks under a pluggable scheduler.
+
+Quantum-granularity discrete-event execution: a CPU picks a task,
+runs it for the scheduler-granted slice (or until the task finishes),
+charges context-switch overhead per dispatch, and hands the task back
+to the scheduler. Memory pressure slows progress globally through the
+:class:`~repro.hostos.memory.MemoryModel` (paging stalls affect every
+runnable process), and a cold-start cost — largest for the first
+instance of a program, amortized for later ones — reproduces the
+slight per-process speedup the paper observed at high process counts
+(Figure 1: "cache effects and costs that don't depend on the number of
+processes").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulerError
+from repro.hostos.memory import MemoryModel
+from repro.hostos.scheduler.base import Scheduler
+from repro.hostos.task import Task, TaskResult
+
+#: Direct + indirect cost of one context switch (cache refill included).
+DEFAULT_CTX_SWITCH = 20e-6
+
+#: Cold-start cost of the first instance of a program (cache/page-in of
+#: program text); instance k pays DEFAULT_COLD_COST / k.
+DEFAULT_COLD_COST = 0.04
+
+
+class Machine:
+    """One physical machine of the suitability study (dual-CPU Opteron)."""
+
+    def __init__(
+        self,
+        sim,
+        scheduler: Scheduler,
+        ncpus: int = 2,
+        memory: Optional[MemoryModel] = None,
+        ctx_switch: float = DEFAULT_CTX_SWITCH,
+        cold_cost: float = DEFAULT_COLD_COST,
+    ) -> None:
+        if ncpus < 1:
+            raise SchedulerError(f"ncpus must be >= 1, got {ncpus}")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.ncpus = ncpus
+        self.memory = memory if memory is not None else MemoryModel()
+        self.ctx_switch = ctx_switch
+        self.cold_cost = cold_cost
+        self._cpu_busy = [False] * ncpus
+        self._submitted = 0
+        self._finished = 0
+        self._demand_mb = 0.0
+        self.results: List[TaskResult] = []
+        self.swap_used = False
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Tasks submitted but not yet finished."""
+        return self._submitted - self._finished
+
+    @property
+    def demand_mb(self) -> float:
+        """Current resident memory demand of active tasks."""
+        return self._demand_mb
+
+    def submit(self, task: Task, at: float = 0.0) -> Task:
+        """Submit a task at absolute time ``at`` (>= now)."""
+        self._submitted += 1
+        self.sim.schedule_at(max(at, self.sim.now), self._admit, task, self._submitted)
+        return task
+
+    def _admit(self, task: Task, index: int) -> None:
+        task.submit_time = self.sim.now
+        task.cold_penalty = self.cold_cost / index
+        task.remaining = task.work + task.cold_penalty
+        self._demand_mb += task.memory_mb
+        if self.memory.swapping(self._demand_mb):
+            self.swap_used = True
+        self.scheduler.enqueue(task)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Try to dispatch work onto every idle CPU."""
+        for cpu in range(self.ncpus):
+            if not self._cpu_busy[cpu]:
+                self._dispatch(cpu)
+
+    def _dispatch(self, cpu: int) -> None:
+        task = self.scheduler.pick(cpu)
+        if task is None:
+            task = self.scheduler.steal(cpu)
+        if task is None:
+            return  # stay idle; enqueue()/kick() will retry
+        self._cpu_busy[cpu] = True
+        if task.start_time is None:
+            task.start_time = self.sim.now
+        slowdown = self.memory.slowdown(self._demand_mb)
+        slice_s = self.scheduler.slice_for(task)
+        # Wall time needed to finish at the current paging slowdown.
+        run_for = task.remaining * slowdown
+        if run_for > slice_s:
+            run_for = slice_s
+        if task.burst is not None:
+            # Interactive tasks yield the CPU at their burst boundary.
+            burst_wall = task._burst_left * slowdown
+            if run_for > burst_wall:
+                run_for = burst_wall
+        self.sim.schedule(
+            self.ctx_switch + run_for, self._quantum_end, cpu, task, run_for, slowdown
+        )
+
+    def _quantum_end(self, cpu: int, task: Task, ran: float, slowdown: float) -> None:
+        task.service_time += ran
+        task.run_time += ran
+        progress = ran / slowdown
+        task.remaining -= progress
+        self._cpu_busy[cpu] = False
+        if task.remaining <= 1e-12:
+            task.remaining = 0.0
+            task.finish_time = self.sim.now
+            self._finished += 1
+            self._demand_mb -= task.memory_mb
+            self.results.append(TaskResult.from_task(task))
+        elif task.burst is not None and (task._burst_left - progress) <= 1e-12:
+            # Burst over: voluntarily sleep (I/O / think time).
+            task._burst_left = task.burst
+            task.sleep_time += task.sleep
+            self.sim.schedule(task.sleep, self._wake, task)
+        else:
+            if task.burst is not None:
+                task._burst_left -= progress
+            task.preemptions += 1
+            self.scheduler.enqueue(task, preempted=True)
+        self._dispatch(cpu)
+        # Freed memory may speed everyone up only at their next quantum
+        # boundary — matching the model's quantum granularity.
+
+    def _wake(self, task: Task) -> None:
+        task.wakeups += 1
+        self.scheduler.enqueue(task)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    @property
+    def all_done(self) -> bool:
+        return self._submitted > 0 and self._finished == self._submitted
+
+    def utilization_window(self) -> float:
+        """Wall time from first start to last finish across results."""
+        if not self.results:
+            return 0.0
+        start = min(r.start_time for r in self.results)
+        finish = max(r.finish_time for r in self.results)
+        return finish - start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.scheduler.name}, ncpus={self.ncpus}, "
+            f"active={self.active_count}, finished={self._finished})"
+        )

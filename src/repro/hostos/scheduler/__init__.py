@@ -1,0 +1,8 @@
+"""Scheduler models: FreeBSD 4BSD, FreeBSD ULE, Linux 2.6 O(1)."""
+
+from repro.hostos.scheduler.base import Scheduler
+from repro.hostos.scheduler.bsd4 import Bsd4Scheduler
+from repro.hostos.scheduler.linux26 import Linux26Scheduler
+from repro.hostos.scheduler.ule import UleScheduler
+
+__all__ = ["Scheduler", "Bsd4Scheduler", "UleScheduler", "Linux26Scheduler"]

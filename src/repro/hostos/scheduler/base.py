@@ -1,0 +1,64 @@
+"""Scheduler interface used by :class:`repro.hostos.machine.Machine`.
+
+The machine executes tasks in quanta; the scheduler decides which task
+a free CPU runs next and how long its time slice is. Three hooks model
+the structural differences the paper's Figure 3 exposes:
+
+* queue topology (one global run queue vs per-CPU queues);
+* balancing (periodic migration, idle stealing, or none);
+* per-task service bias (ULE's interactivity/priority scoring gave
+  persistent advantages to some identical CPU hogs; 4BSD's decay-usage
+  priorities and Linux's O(1) arrays treated them uniformly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.hostos.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hostos.machine import Machine
+
+
+class Scheduler(ABC):
+    """Base class for scheduler models."""
+
+    #: Nominal time slice in seconds.
+    quantum: float = 0.1
+
+    def __init__(self) -> None:
+        self.machine: Optional["Machine"] = None
+
+    def attach(self, machine: "Machine") -> None:
+        """Bind to the machine (called once by the machine)."""
+        self.machine = machine
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for queue setup once ``machine``/CPU count are known."""
+
+    @abstractmethod
+    def enqueue(self, task: Task, preempted: bool = False) -> None:
+        """Add a runnable task (new submission or expired quantum)."""
+
+    @abstractmethod
+    def pick(self, cpu: int) -> Optional[Task]:
+        """Choose the next task for ``cpu``, or None if its queue is empty."""
+
+    def steal(self, cpu: int) -> Optional[Task]:
+        """Idle CPU asks for work from elsewhere (default: no stealing)."""
+        return None
+
+    def slice_for(self, task: Task) -> float:
+        """Time slice granted to ``task`` (default: the nominal quantum)."""
+        return self.quantum
+
+    def queue_lengths(self) -> list[int]:
+        """Current run-queue lengths (diagnostics/tests)."""
+        return []
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

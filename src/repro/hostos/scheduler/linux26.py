@@ -1,0 +1,87 @@
+"""The Linux 2.6 O(1) scheduler model.
+
+Per-CPU active/expired arrays with uniform timeslices, plus aggressive
+idle stealing and frequent load balancing — which is why Figure 3 shows
+Linux as the steepest CDF: per-CPU structure like ULE, but the strong
+balancing keeps service uniform.
+
+The active/expired pair is modeled explicitly: an expired quantum moves
+the task to the expired array; when the active array drains the arrays
+swap. This preserves O(1)'s epoch behaviour (every runnable task gets
+exactly one slice per epoch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.hostos.scheduler.base import Scheduler
+from repro.hostos.task import Task
+
+
+class Linux26Scheduler(Scheduler):
+    """Per-CPU active/expired arrays, idle stealing."""
+
+    def __init__(self, quantum: float = 0.1) -> None:
+        super().__init__()
+        self.quantum = quantum
+        self._active: List[Deque[Task]] = []
+        self._expired: List[Deque[Task]] = []
+
+    def on_attach(self) -> None:
+        assert self.machine is not None
+        n = self.machine.ncpus
+        self._active = [deque() for _ in range(n)]
+        self._expired = [deque() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    def _shortest_cpu(self) -> int:
+        lengths = [
+            len(a) + len(e) for a, e in zip(self._active, self._expired)
+        ]
+        return min(range(len(lengths)), key=lengths.__getitem__)
+
+    def enqueue(self, task: Task, preempted: bool = False) -> None:
+        if preempted and task.cpu_affinity is not None:
+            # Expired slice: back to this CPU's expired array.
+            self._expired[task.cpu_affinity].append(task)
+            return
+        cpu = self._shortest_cpu()
+        task.cpu_affinity = cpu
+        self._active[cpu].append(task)
+
+    def pick(self, cpu: int) -> Optional[Task]:
+        active, expired = self._active[cpu], self._expired[cpu]
+        if not active and expired:
+            # Array swap: the expired epoch becomes the active one.
+            self._active[cpu], self._expired[cpu] = expired, active
+            active = expired
+        if active:
+            return active.popleft()
+        return None
+
+    def steal(self, cpu: int) -> Optional[Task]:
+        """Idle balancing: pull from the busiest CPU's arrays."""
+        best: Optional[Tuple[int, int]] = None
+        for i in range(len(self._active)):
+            if i == cpu:
+                continue
+            load = len(self._active[i]) + len(self._expired[i])
+            if load > 1 and (best is None or load > best[1]):
+                best = (i, load)
+        if best is None:
+            return None
+        src = best[0]
+        task = (
+            self._active[src].pop()
+            if self._active[src]
+            else self._expired[src].pop()
+        )
+        task.cpu_affinity = cpu
+        return task
+
+    def queue_lengths(self) -> list[int]:
+        return [
+            len(a) + len(e) for a, e in zip(self._active, self._expired)
+        ]

@@ -1,0 +1,130 @@
+"""The ULE scheduler model (FreeBSD 5/6).
+
+ULE keeps one run queue per CPU with strong affinity and only periodic
+rebalancing. Two structural properties produce the wider fairness
+spread the paper measures in Figure 3:
+
+* **per-CPU queues with weak balancing** — tasks stay where they were
+  placed; a length imbalance persists until the periodic balancer
+  corrects it one migration at a time, and an idle CPU does not steal;
+* **interactivity/priority scoring bias** — ULE derives slices from an
+  interactivity score; for nominally identical CPU hogs the scoring
+  gave some processes persistently larger slices. FreeBSD 5 was
+  grossly unfair ("some processes were excessively privileged ... and
+  allowed to run alone on a CPU", the paper's [12]); FreeBSD 6 reduced
+  but did not eliminate the variation. We model the score as a
+  per-task multiplicative slice bias drawn once from a lognormal
+  distribution whose sigma is the calibration knob:
+  :data:`FREEBSD6_BIAS_SIGMA` reproduces Figure 3's ~210-290 s spread,
+  :data:`FREEBSD5_BIAS_SIGMA` the earlier gross unfairness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.hostos.scheduler.base import Scheduler
+from repro.hostos.task import Task
+
+#: Lognormal sigma of the per-task slice bias, calibrated against Figure 3.
+FREEBSD6_BIAS_SIGMA = 0.10
+#: The FreeBSD 5 behaviour reported in the paper's reference [12].
+FREEBSD5_BIAS_SIGMA = 0.60
+
+
+class UleScheduler(Scheduler):
+    """Per-CPU queues, periodic balancing, biased slices."""
+
+    def __init__(
+        self,
+        quantum: float = 0.1,
+        balance_interval: float = 5.0,
+        bias_sigma: float = FREEBSD6_BIAS_SIGMA,
+        interactivity_scoring: bool = False,
+        interactive_threshold: float = 0.5,
+    ) -> None:
+        """
+        ``interactivity_scoring`` enables ULE's distinguishing feature:
+        tasks whose sleep/run history marks them interactive (ratio
+        above ``interactive_threshold``) enqueue at the *head* of their
+        CPU's run queue, getting wake-to-run latency a round-robin
+        scheduler cannot offer. Off by default — the paper's workloads
+        are pure CPU hogs, for which the scoring reduces to the
+        lognormal slice bias calibrated against Figure 3.
+        """
+        super().__init__()
+        self.quantum = quantum
+        self.balance_interval = balance_interval
+        self.bias_sigma = bias_sigma
+        self.interactivity_scoring = interactivity_scoring
+        self.interactive_threshold = interactive_threshold
+        self._queues: List[Deque[Task]] = []
+        self._bias: Dict[str, float] = {}
+        self._balancer_started = False
+
+    def on_attach(self) -> None:
+        assert self.machine is not None
+        self._queues = [deque() for _ in range(self.machine.ncpus)]
+        self._rng = self.machine.sim.rng.stream("sched.ule")
+
+    # ------------------------------------------------------------------
+    def enqueue(self, task: Task, preempted: bool = False) -> None:
+        if task.cpu_affinity is None:
+            # Initial placement: ULE picks the least-loaded CPU, with
+            # random tie-breaking among equals.
+            lengths = [len(q) for q in self._queues]
+            shortest = min(lengths)
+            candidates = [i for i, n in enumerate(lengths) if n == shortest]
+            task.cpu_affinity = self._rng.choice(candidates)
+        queue = self._queues[task.cpu_affinity]
+        if (
+            self.interactivity_scoring
+            and task.interactive_ratio > self.interactive_threshold
+        ):
+            # Interactive score earns a realtime-ish priority: the task
+            # runs ahead of the timeshare queue.
+            queue.appendleft(task)
+        else:
+            queue.append(task)
+        if not self._balancer_started and self.balance_interval > 0:
+            self._balancer_started = True
+            self.machine.sim.schedule(self.balance_interval, self._balance)
+
+    def pick(self, cpu: int) -> Optional[Task]:
+        queue = self._queues[cpu]
+        return queue.popleft() if queue else None
+
+    # No steal(): an idle CPU waits for the balancer — the structural
+    # weakness that widens ULE's completion spread.
+
+    def slice_for(self, task: Task) -> float:
+        bias = self._bias.get(task.name)
+        if bias is None:
+            if self.bias_sigma > 0.0:
+                bias = math.exp(self._rng.gauss(0.0, self.bias_sigma))
+            else:
+                bias = 1.0
+            self._bias[task.name] = bias
+        return self.quantum * bias
+
+    # ------------------------------------------------------------------
+    def _balance(self) -> None:
+        """Move one task from the longest to the shortest queue."""
+        assert self.machine is not None
+        lengths = [len(q) for q in self._queues]
+        longest = max(range(len(lengths)), key=lengths.__getitem__)
+        shortest = min(range(len(lengths)), key=lengths.__getitem__)
+        if lengths[longest] - lengths[shortest] > 1:
+            task = self._queues[longest].pop()
+            task.cpu_affinity = shortest
+            self._queues[shortest].append(task)
+            self.machine.kick()
+        if self.machine.active_count > 0:
+            self.machine.sim.schedule(self.balance_interval, self._balance)
+        else:
+            self._balancer_started = False
+
+    def queue_lengths(self) -> list[int]:
+        return [len(q) for q in self._queues]

@@ -1,0 +1,109 @@
+"""Pre-flight suitability checks for an emulation host.
+
+The paper's host study ends in operational rules: many concurrent
+processes are fine (Figure 1), "we will have to make sure that we are
+in experimental conditions where virtual memory is not needed"
+(Figure 2), and the 4BSD scheduler is the fair choice (Figure 3 — "In
+the following experiments, we used the 4BSD scheduler in P2PLab").
+This module encodes those rules as an advisory API an experimenter can
+run before committing to a folding plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hostos.memory import MemoryModel, POLICY_THRASH
+from repro.hostos.scheduler.ule import FREEBSD6_BIAS_SIGMA
+
+#: Fairness spreads measured by the Figure 3 reproduction.
+SCHEDULER_FAIRNESS_SPREAD = {
+    "4bsd": 0.001,
+    "linux26": 0.001,
+    "ule": 0.23,
+}
+
+#: Spread beyond which per-node timing results should not be trusted.
+FAIRNESS_SPREAD_LIMIT = 0.05
+
+
+@dataclass(frozen=True)
+class SuitabilityReport:
+    """Outcome of a pre-flight check."""
+
+    vnodes_per_pnode: int
+    memory_demand_mb: float
+    ram_mb: float
+    fits_in_memory: bool
+    expected_memory_slowdown: float
+    scheduler: str
+    scheduler_fair: bool
+    suitable: bool
+    notes: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        verdict = "SUITABLE" if self.suitable else "NOT SUITABLE"
+        lines = [
+            f"{verdict}: {self.vnodes_per_pnode} vnodes/pnode, "
+            f"{self.memory_demand_mb:.0f}/{self.ram_mb:.0f} MB, "
+            f"scheduler {self.scheduler}",
+        ]
+        lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def check_suitability(
+    vnodes_per_pnode: int,
+    memory_per_vnode_mb: float,
+    ram_mb: float = 2048.0,
+    scheduler: str = "4bsd",
+    os_overhead_mb: float = 256.0,
+) -> SuitabilityReport:
+    """Apply the paper's three host rules to a folding plan."""
+    notes: List[str] = []
+
+    # Rule 1 (Figure 1): raw process count is not a concern.
+    if vnodes_per_pnode > 1000:
+        notes.append(
+            f"{vnodes_per_pnode} processes exceeds the studied range (1000); "
+            "scheduler behaviour unvalidated"
+        )
+
+    # Rule 2 (Figure 2): stay out of swap.
+    demand = os_overhead_mb + vnodes_per_pnode * memory_per_vnode_mb
+    memory = MemoryModel(ram_mb=ram_mb, policy=POLICY_THRASH)
+    slowdown = memory.slowdown(demand)
+    fits = not memory.swapping(demand)
+    if not fits:
+        notes.append(
+            f"working set {demand:.0f} MB exceeds {ram_mb:.0f} MB RAM: "
+            f"expect ~{slowdown:.1f}x execution-time inflation "
+            "(paper: 'make sure ... virtual memory is not needed')"
+        )
+
+    # Rule 3 (Figure 3): fair scheduler required.
+    key = scheduler.lower()
+    spread = SCHEDULER_FAIRNESS_SPREAD.get(key)
+    if spread is None:
+        notes.append(f"unknown scheduler {scheduler!r}; fairness unvalidated")
+        fair = False
+    else:
+        fair = spread <= FAIRNESS_SPREAD_LIMIT
+        if not fair:
+            notes.append(
+                f"{scheduler} fairness spread ~{spread:.2f} exceeds "
+                f"{FAIRNESS_SPREAD_LIMIT}; the paper uses 4BSD for its experiments"
+            )
+
+    return SuitabilityReport(
+        vnodes_per_pnode=vnodes_per_pnode,
+        memory_demand_mb=demand,
+        ram_mb=ram_mb,
+        fits_in_memory=fits,
+        expected_memory_slowdown=slowdown,
+        scheduler=scheduler,
+        scheduler_fair=fair,
+        suitable=fits and fair and vnodes_per_pnode <= 1000,
+        notes=notes,
+    )

@@ -1,0 +1,133 @@
+"""Tasks: units of CPU work with a memory footprint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchedulerError
+
+
+class Task:
+    """One process in the scheduler study.
+
+    Attributes
+    ----------
+    work:
+        CPU seconds required at full speed (excluding overheads).
+    memory_mb:
+        Resident set size while the task is alive.
+    cold_penalty:
+        Extra CPU seconds paid for cold caches / program setup; the
+        machine computes it at submission (first instances pay more,
+        later ones find the program text and data warm — the paper's
+        explanation for Figure 1's slight decrease).
+    """
+
+    __slots__ = (
+        "name",
+        "work",
+        "memory_mb",
+        "remaining",
+        "cold_penalty",
+        "service_time",
+        "submit_time",
+        "start_time",
+        "finish_time",
+        "preemptions",
+        "cpu_affinity",
+        "burst",
+        "sleep",
+        "_burst_left",
+        "run_time",
+        "sleep_time",
+        "wakeups",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        work: float,
+        memory_mb: float = 2.0,
+        burst: Optional[float] = None,
+        sleep: float = 0.0,
+    ) -> None:
+        """
+        ``burst``/``sleep`` describe interactive behaviour: the task
+        computes for ``burst`` seconds, then sleeps (blocked on I/O or
+        the user) for ``sleep`` seconds, repeating until ``work`` CPU
+        seconds are done. ``burst=None`` (default) is a pure CPU hog —
+        the paper's workloads.
+        """
+        if work <= 0:
+            raise SchedulerError(f"task {name!r}: work must be positive")
+        if memory_mb < 0:
+            raise SchedulerError(f"task {name!r}: negative memory")
+        if burst is not None and burst <= 0:
+            raise SchedulerError(f"task {name!r}: burst must be positive")
+        if sleep < 0:
+            raise SchedulerError(f"task {name!r}: negative sleep")
+        self.name = name
+        self.work = work
+        self.memory_mb = memory_mb
+        self.remaining = work
+        self.cold_penalty = 0.0
+        self.service_time = 0.0
+        self.submit_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.preemptions = 0
+        self.cpu_affinity: Optional[int] = None
+        self.burst = burst
+        self.sleep = sleep
+        self._burst_left = burst
+        self.run_time = 0.0
+        self.sleep_time = 0.0
+        self.wakeups = 0
+
+    @property
+    def interactive_ratio(self) -> float:
+        """Fraction of this task's lifetime spent voluntarily sleeping
+        — what ULE's interactivity scoring estimates."""
+        total = self.run_time + self.sleep_time
+        return self.sleep_time / total if total > 0 else 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"remaining={self.remaining:.3f}"
+        return f"Task({self.name!r}, work={self.work}, {state})"
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Measured outcome of one task.
+
+    ``execution_time`` is the quantity the paper's figures plot: the
+    per-process execution time as measured from inside the process
+    (CPU service including paging stalls and its cold-start cost).
+    ``turnaround`` is submission-to-finish wall time (Figure 3's CDF
+    plots turnaround of simultaneously started tasks).
+    """
+
+    name: str
+    execution_time: float
+    turnaround: float
+    start_time: float
+    finish_time: float
+    preemptions: int
+
+    @staticmethod
+    def from_task(task: Task) -> "TaskResult":
+        if task.finish_time is None or task.submit_time is None or task.start_time is None:
+            raise SchedulerError(f"task {task.name!r} has not finished")
+        return TaskResult(
+            name=task.name,
+            execution_time=task.service_time,
+            turnaround=task.finish_time - task.submit_time,
+            start_time=task.start_time,
+            finish_time=task.finish_time,
+            preemptions=task.preemptions,
+        )

@@ -1,0 +1,41 @@
+"""The two benchmark programs of the paper's suitability study.
+
+* the non-memory-intensive program "calculating Ackermann's function,
+  requiring about 1.65 seconds to complete when run alone" (Figures 1
+  and, with 5 s of work, 3);
+* the memory-intensive program "doing simple operations on large
+  matrices" (Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.hostos.task import Task
+
+#: Solo execution time of the Ackermann benchmark (paper: ~1.65 s).
+ACKERMANN_SOLO_SECONDS = 1.65
+
+#: Solo execution time of the fairness benchmark (paper: ~5 s).
+FAIRNESS_SOLO_SECONDS = 5.0
+
+#: Working set of one matrix-benchmark process. With 2 GB of RAM the
+#: knee of Figure 2 then falls around 20 concurrent processes, matching
+#: the figure's 5-50 process x-range.
+MATRIX_MEMORY_MB = 100.0
+
+#: Solo execution time of the matrix benchmark.
+MATRIX_SOLO_SECONDS = 1.2
+
+
+def ackermann_task(index: int, work: float = ACKERMANN_SOLO_SECONDS) -> Task:
+    """A CPU-intensive, non-memory-intensive process."""
+    return Task(name=f"ack{index}", work=work, memory_mb=2.0)
+
+
+def fairness_task(index: int) -> Task:
+    """The 5-second CPU-intensive program of the fairness experiment."""
+    return Task(name=f"fair{index}", work=FAIRNESS_SOLO_SECONDS, memory_mb=2.0)
+
+
+def matrix_task(index: int, memory_mb: float = MATRIX_MEMORY_MB) -> Task:
+    """A CPU- and memory-intensive process (large-matrix operations)."""
+    return Task(name=f"mat{index}", work=MATRIX_SOLO_SECONDS, memory_mb=memory_mb)

@@ -1,0 +1,170 @@
+"""Minimal IPv4 address / network types.
+
+Purpose-built instead of :mod:`ipaddress`: the emulation compares and
+hashes addresses on every packet hop, so addresses are interned plain
+ints with a thin wrapper, and networks precompute their mask once.
+
+The paper's namespace scheme (Fig. 4) uses an administration subnet
+(192.168.38.0/24) and a virtual-node subnet (10.0.0.0/8); group
+topologies carve /16 and /24 child networks out of the latter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+from repro.errors import AddressError
+
+
+class IPv4Address:
+    """An IPv4 address backed by its 32-bit integer value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, str, "IPv4Address"]) -> None:
+        if isinstance(value, IPv4Address):
+            self.value = value.value
+            return
+        if isinstance(value, str):
+            value = _parse_dotted(value)
+        if not isinstance(value, int):
+            raise AddressError(f"cannot build address from {value!r}")
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise AddressError(f"address out of range: {value:#x}")
+        self.value = value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24 & 0xFF}.{v >> 16 & 0xFF}.{v >> 8 & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self.value == other.value
+        if isinstance(other, str):
+            return self.value == _parse_dotted(other)
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+def _parse_dotted(text: str) -> int:
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class IPv4Network:
+    """An IPv4 prefix (``10.1.3.0/24``) with O(1) membership tests."""
+
+    __slots__ = ("address", "prefixlen", "mask", "_net")
+
+    def __init__(self, spec: Union[str, Tuple[Union[str, int, IPv4Address], int]]) -> None:
+        if isinstance(spec, str):
+            if "/" not in spec:
+                raise AddressError(f"network needs a /prefix: {spec!r}")
+            addr_text, _, plen_text = spec.partition("/")
+            addr = IPv4Address(addr_text)
+            try:
+                prefixlen = int(plen_text)
+            except ValueError:
+                raise AddressError(f"bad prefix length in {spec!r}") from None
+        else:
+            addr = IPv4Address(spec[0])
+            prefixlen = int(spec[1])
+        if not 0 <= prefixlen <= 32:
+            raise AddressError(f"prefix length out of range: {prefixlen}")
+        self.prefixlen = prefixlen
+        self.mask = (0xFFFFFFFF << (32 - prefixlen)) & 0xFFFFFFFF if prefixlen else 0
+        self._net = addr.value & self.mask
+        if addr.value != self._net:
+            raise AddressError(
+                f"{addr}/{prefixlen} has host bits set (network is "
+                f"{IPv4Address(self._net)}/{prefixlen})"
+            )
+        self.address = IPv4Address(self._net)
+
+    def __contains__(self, addr: Union[IPv4Address, str, int]) -> bool:
+        if not isinstance(addr, IPv4Address):
+            addr = IPv4Address(addr)
+        return (addr.value & self.mask) == self._net
+
+    def contains_value(self, value: int) -> bool:
+        """Membership test on a raw 32-bit value (hot path)."""
+        return (value & self.mask) == self._net
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefixlen)
+
+    def host(self, index: int) -> IPv4Address:
+        """The ``index``-th host address (1-based; 0 is the network address)."""
+        if not 0 <= index < self.num_addresses:
+            raise AddressError(f"host index {index} out of range for /{self.prefixlen}")
+        return IPv4Address(self._net + index)
+
+    def hosts(self, start: int = 1) -> Iterator[IPv4Address]:
+        """Iterate host addresses starting at offset ``start``."""
+        for i in range(start, self.num_addresses):
+            yield IPv4Address(self._net + i)
+
+    def subnets(self, new_prefixlen: int) -> Iterator["IPv4Network"]:
+        """Iterate the child networks of the given longer prefix."""
+        if new_prefixlen < self.prefixlen or new_prefixlen > 32:
+            raise AddressError(
+                f"cannot split /{self.prefixlen} into /{new_prefixlen}"
+            )
+        step = 1 << (32 - new_prefixlen)
+        for base in range(self._net, self._net + self.num_addresses, step):
+            yield IPv4Network((base, new_prefixlen))
+
+    def overlaps(self, other: "IPv4Network") -> bool:
+        shorter, longer = (self, other) if self.prefixlen <= other.prefixlen else (other, self)
+        return (longer._net & shorter.mask) == shorter._net
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Network):
+            return self._net == other._net and self.prefixlen == other.prefixlen
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._net, self.prefixlen))
+
+    def __str__(self) -> str:
+        return f"{self.address}/{self.prefixlen}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network('{self}')"
+
+
+def ip(value: Union[int, str, IPv4Address]) -> IPv4Address:
+    """Shorthand constructor: ``ip("10.0.0.1")``."""
+    return value if isinstance(value, IPv4Address) else IPv4Address(value)
+
+
+def network(spec: Union[str, IPv4Network]) -> IPv4Network:
+    """Shorthand constructor: ``network("10.0.0.0/8")``."""
+    return spec if isinstance(spec, IPv4Network) else IPv4Network(spec)

@@ -1,0 +1,171 @@
+"""Dummynet pipes.
+
+A pipe is Rizzo's Dummynet abstraction (CCR '97), the device P2PLab
+configures through IPFW rules: a FIFO queue drained at a fixed
+bandwidth, followed by a fixed propagation delay, with an optional
+bounded queue and a random packet-loss rate.
+
+Semantics per packet of size ``S`` arriving at time ``t``:
+
+1. with probability ``plr`` the packet is dropped;
+2. if the backlog (bytes queued but not yet serialized) exceeds
+   ``queue_limit``, the packet is dropped (tail drop);
+3. otherwise it leaves the serializer at
+   ``depart = max(t, busy_until) + S / bandwidth`` and is delivered to
+   the next hop at ``depart + delay``.
+
+``bandwidth=None`` means an unshaped pipe (pure delay), which is how
+the inter-group latency rules of the paper's topology model are
+configured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import FirewallError
+from repro.net.packet import Packet
+
+DeliverFn = Callable[[Packet], Any]
+
+
+class DummynetPipe:
+    """One emulated link: bandwidth + delay + loss + bounded queue."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "bandwidth",
+        "delay",
+        "plr",
+        "queue_limit",
+        "_rng",
+        "_busy_until",
+        "packets_in",
+        "packets_out",
+        "packets_dropped_loss",
+        "packets_dropped_queue",
+        "bytes_in",
+        "bytes_out",
+    )
+
+    def __init__(
+        self,
+        sim,
+        bandwidth: Optional[float] = None,
+        delay: float = 0.0,
+        plr: float = 0.0,
+        queue_limit: Optional[int] = None,
+        name: str = "pipe",
+    ) -> None:
+        """
+        Parameters
+        ----------
+        bandwidth:
+            Bytes per second, or ``None`` for an unshaped (delay-only) pipe.
+        delay:
+            Propagation delay in seconds, added after serialization.
+        plr:
+            Packet loss rate in [0, 1).
+        queue_limit:
+            Maximum backlog in bytes awaiting serialization; ``None`` =
+            unbounded. Ignored for unshaped pipes.
+        """
+        if bandwidth is not None and bandwidth <= 0:
+            raise FirewallError(f"pipe bandwidth must be positive, got {bandwidth}")
+        if delay < 0:
+            raise FirewallError(f"pipe delay must be >= 0, got {delay}")
+        if not 0.0 <= plr < 1.0:
+            raise FirewallError(f"pipe plr must be in [0,1), got {plr}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.plr = plr
+        self.queue_limit = queue_limit
+        self._rng = sim.rng.stream(f"pipe.loss/{name}") if plr > 0 else None
+        self._busy_until = 0.0
+        self.packets_in = 0
+        self.packets_out = 0
+        self.packets_dropped_loss = 0
+        self.packets_dropped_queue = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet, deliver: DeliverFn) -> bool:
+        """Send ``packet`` through the pipe; calls ``deliver(packet)``
+        at the arrival time. Returns ``False`` if the packet was dropped.
+        """
+        sim = self.sim
+        now = sim.now
+        self.packets_in += 1
+        self.bytes_in += packet.size
+
+        if self._rng is not None and self._rng.random() < self.plr:
+            self.packets_dropped_loss += 1
+            return False
+
+        if self.bandwidth is None:
+            arrival_delay = self.delay
+        else:
+            backlog_start = self._busy_until if self._busy_until > now else now
+            if self.queue_limit is not None:
+                backlog_bytes = (backlog_start - now) * self.bandwidth
+                if backlog_bytes + packet.size > self.queue_limit:
+                    self.packets_dropped_queue += 1
+                    return False
+            depart = backlog_start + packet.size / self.bandwidth
+            self._busy_until = depart
+            arrival_delay = depart - now + self.delay
+
+        self.packets_out += 1
+        self.bytes_out += packet.size
+        sim.schedule(arrival_delay, deliver, packet)
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog_seconds(self) -> float:
+        """Seconds of queued serialization work (0 for unshaped pipes)."""
+        if self.bandwidth is None:
+            return 0.0
+        pending = self._busy_until - self.sim.now
+        return pending if pending > 0 else 0.0
+
+    @property
+    def backlog_bytes(self) -> float:
+        if self.bandwidth is None:
+            return 0.0
+        return self.backlog_seconds * self.bandwidth
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes that have fully traversed the pipe."""
+        return self.bytes_out
+
+    def reconfigure(
+        self,
+        bandwidth: Optional[float] = None,
+        delay: Optional[float] = None,
+        plr: Optional[float] = None,
+    ) -> None:
+        """Change parameters at runtime (``ipfw pipe N config ...``)."""
+        if bandwidth is not None:
+            if bandwidth <= 0:
+                raise FirewallError(f"pipe bandwidth must be positive, got {bandwidth}")
+            self.bandwidth = bandwidth
+        if delay is not None:
+            if delay < 0:
+                raise FirewallError(f"pipe delay must be >= 0, got {delay}")
+            self.delay = delay
+        if plr is not None:
+            if not 0.0 <= plr < 1.0:
+                raise FirewallError(f"pipe plr must be in [0,1), got {plr}")
+            self.plr = plr
+            if self._rng is None and plr > 0:
+                self._rng = self.sim.rng.stream(f"pipe.loss/{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bw = "unshaped" if self.bandwidth is None else f"{self.bandwidth:.0f}B/s"
+        return f"DummynetPipe({self.name!r}, {bw}, delay={self.delay * 1e3:.1f}ms, plr={self.plr})"

@@ -1,0 +1,148 @@
+"""Packet capture on a network stack (``tcpdump`` for the emulation).
+
+A sniffer taps one stack's ingress and egress, records packet headers
+(never payloads — like a real ``tcpdump -s 64``), and supports BPF-ish
+filtering by protocol, address and port. Used for debugging emulated
+applications and in tests asserting what actually crossed the wire.
+
+Example
+-------
+>>> from repro.net.sniffer import Sniffer              # doctest: +SKIP
+>>> sniffer = Sniffer(stack, proto="tcp", port=6881)   # doctest: +SKIP
+>>> ... run experiment ...                             # doctest: +SKIP
+>>> sniffer.stop()                                     # doctest: +SKIP
+>>> for cap in sniffer.captured[:10]:                  # doctest: +SKIP
+...     print(cap)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.net.addr import IPv4Address, ip
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class Capture:
+    """One captured packet header."""
+
+    time: float
+    direction: str  # "out" or "in"
+    src: IPv4Address
+    sport: int
+    dst: IPv4Address
+    dport: int
+    proto: str
+    kind: str
+    size: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.time:12.6f} {self.direction:>3} "
+            f"{self.src}:{self.sport} > {self.dst}:{self.dport} "
+            f"{self.proto}/{self.kind} len={self.size}"
+        )
+
+
+class Sniffer:
+    """Tap a stack's send/receive paths with optional filters."""
+
+    def __init__(
+        self,
+        stack,
+        proto: Optional[str] = None,
+        host: Union[IPv4Address, str, None] = None,
+        port: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        proto:
+            Capture only this protocol (``"tcp"``/``"udp"``/``"icmp"``).
+        host:
+            Capture only packets whose src *or* dst is this address.
+        port:
+            Capture only packets whose sport or dport matches.
+        max_packets:
+            Stop capturing after this many packets (the tap stays
+            installed but records nothing further).
+        """
+        self.stack = stack
+        self.proto = proto
+        self.host = ip(host) if host is not None else None
+        self.port = port
+        self.max_packets = max_packets
+        self.captured: List[Capture] = []
+        self.dropped_by_filter = 0
+        self._active = True
+        self._orig_send = stack.send_packet
+        self._orig_recv = stack._deliver_local
+        stack.send_packet = self._tap_out
+        stack._deliver_local = self._tap_in
+
+    # ------------------------------------------------------------------
+    def _matches(self, pkt: Packet) -> bool:
+        if self.proto is not None and pkt.proto != self.proto:
+            return False
+        if self.host is not None and pkt.src != self.host and pkt.dst != self.host:
+            return False
+        if self.port is not None and pkt.sport != self.port and pkt.dport != self.port:
+            return False
+        return True
+
+    def _record(self, pkt: Packet, direction: str) -> None:
+        if not self._active:
+            return
+        if self.max_packets is not None and len(self.captured) >= self.max_packets:
+            return
+        if not self._matches(pkt):
+            self.dropped_by_filter += 1
+            return
+        self.captured.append(
+            Capture(
+                time=self.stack.sim.now,
+                direction=direction,
+                src=pkt.src,
+                sport=pkt.sport,
+                dst=pkt.dst,
+                dport=pkt.dport,
+                proto=pkt.proto,
+                kind=pkt.kind,
+                size=pkt.size,
+            )
+        )
+
+    def _tap_out(self, pkt: Packet) -> None:
+        self._record(pkt, "out")
+        self._orig_send(pkt)
+
+    def _tap_in(self, pkt: Packet) -> None:
+        self._record(pkt, "in")
+        self._orig_recv(pkt)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Remove the tap (captures remain readable)."""
+        if not self._active:
+            return
+        self._active = False
+        self.stack.send_packet = self._orig_send
+        self.stack._deliver_local = self._orig_recv
+
+    def total_bytes(self, direction: Optional[str] = None) -> int:
+        return sum(
+            c.size
+            for c in self.captured
+            if direction is None or c.direction == direction
+        )
+
+    def __len__(self) -> int:
+        return len(self.captured)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """tcpdump-style text rendering of the capture."""
+        rows = self.captured if limit is None else self.captured[:limit]
+        return "\n".join(str(c) for c in rows)

@@ -1,0 +1,537 @@
+"""TCP-like reliable connection transport.
+
+Message-level rather than byte-stream: each :meth:`Connection.send`
+puts one application message on the wire as one segment (plus header
+overhead), because that is the granularity Dummynet charges bandwidth
+at in this emulation (see :mod:`repro.net.packet`).
+
+What is modeled faithfully:
+
+* connection establishment over the full emulated path (Fig. 5 of the
+  paper: ``socket/bind/connect`` vs ``socket/bind/listen/accept``),
+  costing one RTT, with RST when nothing listens;
+* in-order reliable delivery: segments carry sequence numbers, the
+  receiver reorders, and segments dropped by a pipe (loss or queue
+  overflow) are retransmitted with exponential backoff;
+* a bounded send window providing sender backpressure, so application
+  senders block when the emulated access link is the bottleneck;
+* FIN/RST teardown with EOF delivery after in-order data.
+
+What is simplified (documented in DESIGN.md): there are no explicit ACK
+segments — the send window is credited when a segment is delivered,
+i.e. half an RTT earlier than a real ACK clock, and congestion control
+is absent (the Dummynet pipes themselves are the bottleneck, as in the
+paper's DSL scenarios where the access link, not TCP dynamics,
+dominates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import (
+    AddressInUse,
+    ConnectionRefused,
+    ConnectionReset,
+    InvalidSocketState,
+    SocketError,
+)
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet, PROTO_TCP, TCP_HEADER
+from repro.sim.process import Signal
+from repro.sim.resources import Channel
+
+KIND_SYN = "syn"
+KIND_SYNACK = "synack"
+KIND_RST = "rst"
+KIND_DATA = "data"
+KIND_FIN = "fin"
+KIND_ACK = "ack"
+
+#: Default per-connection send window (bytes in flight).
+DEFAULT_WINDOW = 256 * 1024
+#: First retransmission timeout; doubles on every retry.
+INITIAL_RTO = 0.5
+#: Retransmission attempts before the connection is reset.
+MAX_RETRIES = 8
+#: SYN retransmission timeout and retry budget.
+SYN_RTO = 1.0
+SYN_RETRIES = 5
+
+Endpoint = Tuple[IPv4Address, int]
+
+
+class _Segment:
+    """Payload envelope carried inside a data/fin packet."""
+
+    __slots__ = ("seq", "payload", "size", "ack_hook", "acked")
+
+    def __init__(self, seq: int, payload: Any, size: int, ack_hook: Callable[["_Segment"], None]) -> None:
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+        self.ack_hook = ack_hook
+        self.acked = False
+
+
+class Connection:
+    """One established (or establishing) TCP connection endpoint."""
+
+    # States
+    CONNECTING = "connecting"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+    def __init__(
+        self,
+        tcp: "TcpLayer",
+        local: Endpoint,
+        remote: Endpoint,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        self.tcp = tcp
+        self.sim = tcp.stack.sim
+        self.local = local
+        self.remote = remote
+        self.window = window
+        self.state = Connection.CONNECTING
+        self.connect_signal: Optional[Signal] = None
+
+        # Send side.
+        self._next_seq = 0
+        self._in_flight = 0
+        self._send_queue: Deque[Tuple[_Segment, Optional[Signal], str]] = deque()
+        self._retries: Dict[int, int] = {}
+        self.local_closed = False
+        self._fin_sent = False
+        self._fin_acked = False
+
+        # Receive side.
+        self._expected_seq = 0
+        self._reorder: Dict[int, Tuple[str, _Segment]] = {}
+        self.recv_channel = Channel(self.sim, name=f"tcp.recv/{local}->{remote}")
+        self.remote_closed = False
+
+        # Stats.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.retransmissions = 0
+
+    # -- sending -------------------------------------------------------
+    def send(self, payload: Any, size: int) -> Signal:
+        """Queue one application message of ``size`` payload bytes.
+
+        Returns a signal triggered once the message has been admitted
+        to the network (window space granted) — yield on it for
+        sender-side backpressure. Raises if the connection is closed.
+        """
+        if self.state is not Connection.ESTABLISHED:
+            raise InvalidSocketState(f"send on {self.state} connection")
+        if self.local_closed:
+            raise InvalidSocketState("send after close")
+        if size <= 0:
+            raise InvalidSocketState(f"message size must be positive, got {size}")
+        admitted = Signal(self.sim, name="tcp.send.admitted")
+        seg = _Segment(self._next_seq, payload, size, self._on_segment_delivered)
+        self._next_seq += 1
+        self._send_queue.append((seg, admitted, KIND_DATA))
+        self._pump()
+        return admitted
+
+    def _pump(self) -> None:
+        """Admit queued segments while window space is available."""
+        while self._send_queue:
+            seg, admitted, kind = self._send_queue[0]
+            if kind == KIND_DATA and self._in_flight + seg.size > self.window and self._in_flight > 0:
+                break
+            self._send_queue.popleft()
+            self._in_flight += seg.size
+            self._transmit(seg, kind)
+            if admitted is not None:
+                admitted.trigger(None)
+
+    def _transmit(self, seg: _Segment, kind: str) -> None:
+        pkt = Packet(
+            src=self.local[0],
+            dst=self.remote[0],
+            proto=PROTO_TCP,
+            size=seg.size + TCP_HEADER if kind == KIND_DATA else TCP_HEADER,
+            sport=self.local[1],
+            dport=self.remote[1],
+            payload=seg,
+            kind=kind,
+        )
+        pkt.on_drop = lambda _pkt, seg=seg, kind=kind: self._on_segment_dropped(seg, kind)
+        self.tcp.stack.send_packet(pkt)
+        if kind == KIND_DATA:
+            self.bytes_sent += seg.size
+            self.messages_sent += 1
+
+    def _on_segment_dropped(self, seg: _Segment, kind: str) -> None:
+        """A pipe dropped the segment: retransmit with backoff."""
+        if self.state is Connection.CLOSED:
+            return
+        attempt = self._retries.get(seg.seq, 0) + 1
+        if attempt > MAX_RETRIES:
+            self._fail_reset("too many retransmissions")
+            return
+        self._retries[seg.seq] = attempt
+        self.retransmissions += 1
+        rto = INITIAL_RTO * (2 ** (attempt - 1))
+        self.sim.schedule(rto, self._retransmit, seg, kind)
+
+    def _retransmit(self, seg: _Segment, kind: str) -> None:
+        if self.state is Connection.CLOSED:
+            return
+        self._transmit(seg, kind)
+
+    def _on_segment_delivered(self, seg: _Segment) -> None:
+        """Emulation-level ACK: the segment reached the peer."""
+        if seg.acked:
+            return  # duplicate arrival of a retransmitted segment
+        seg.acked = True
+        self._retries.pop(seg.seq, None)
+        self._in_flight -= seg.size
+        self._pump()
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    # -- receiving -------------------------------------------------------
+    def recv(self) -> Signal:
+        """Signal that fires with the next message, or ``None`` at EOF."""
+        return self.recv_channel.get()
+
+    def handle_data(self, kind: str, seg: _Segment) -> None:
+        """Called by the layer when a data/fin segment arrives."""
+        if self.state is Connection.CLOSED:
+            return
+        if self.tcp.explicit_acks:
+            # Fidelity mode: a 40-byte ACK travels the reverse path
+            # (through the receiver's *upload* pipe) and credits the
+            # sender's window only on arrival.
+            self._send_ack(seg)
+        else:
+            # Default emulation shortcut: credit the window at delivery.
+            seg.ack_hook(seg)
+        if seg.seq < self._expected_seq or seg.seq in self._reorder:
+            return  # duplicate from a spurious retransmission
+        self._reorder[seg.seq] = (kind, seg)
+        while self._expected_seq in self._reorder:
+            next_kind, next_seg = self._reorder.pop(self._expected_seq)
+            self._expected_seq += 1
+            if next_kind == KIND_FIN:
+                self.remote_closed = True
+                self.recv_channel.close()
+                self._maybe_teardown()
+            else:
+                self.messages_received += 1
+                self.bytes_received += next_seg.size
+                self.recv_channel.put((next_seg.payload, next_seg.size))
+
+    def _send_ack(self, seg: _Segment) -> None:
+        pkt = Packet(
+            src=self.local[0],
+            dst=self.remote[0],
+            proto=PROTO_TCP,
+            size=TCP_HEADER,
+            sport=self.local[1],
+            dport=self.remote[1],
+            payload=seg,
+            kind=KIND_ACK,
+        )
+        # A dropped ACK is re-sent after a short delay so the sender's
+        # window cannot leak shut.
+        pkt.on_drop = lambda _p, seg=seg: self.sim.schedule(
+            INITIAL_RTO, self._send_ack, seg
+        )
+        self.tcp.stack.send_packet(pkt)
+
+    # -- teardown --------------------------------------------------------
+    def close(self) -> None:
+        """Half-close the sending direction (FIN after queued data)."""
+        if self.local_closed or self.state is Connection.CLOSED:
+            return
+        self.local_closed = True
+        if self.state is Connection.CONNECTING:
+            if self.connect_signal is not None:
+                sig, self.connect_signal = self.connect_signal, None
+                sig.trigger(ConnectionReset("closed while connecting"))
+            self._teardown()
+            return
+        seg = _Segment(self._next_seq, None, 0, self._on_fin_delivered)
+        self._next_seq += 1
+        self._fin_sent = True
+        self._send_queue.append((seg, None, KIND_FIN))
+        self._pump()
+
+    def _on_fin_delivered(self, seg: _Segment) -> None:
+        if seg.acked:
+            return
+        seg.acked = True
+        self._retries.pop(seg.seq, None)
+        self._fin_acked = True
+        self._maybe_teardown()
+
+    def _maybe_teardown(self) -> None:
+        """Fully closed in both directions: release the 4-tuple."""
+        if self.local_closed and self.remote_closed and self._fin_acked:
+            self._teardown()
+
+    def abort(self) -> None:
+        """Send RST and reset immediately (dropped data is lost)."""
+        if self.state is Connection.CLOSED:
+            return
+        pkt = Packet(
+            src=self.local[0],
+            dst=self.remote[0],
+            proto=PROTO_TCP,
+            size=TCP_HEADER,
+            sport=self.local[1],
+            dport=self.remote[1],
+            kind=KIND_RST,
+        )
+        pkt.on_drop = None
+        self.tcp.stack.send_packet(pkt)
+        self._teardown()
+
+    def handle_rst(self) -> None:
+        if self.state is Connection.CONNECTING and self.connect_signal is not None:
+            sig, self.connect_signal = self.connect_signal, None
+            self._teardown()
+            sig.trigger(ConnectionRefused(f"{self.remote[0]}:{self.remote[1]}"))
+            return
+        self._teardown()
+
+    def _fail_reset(self, reason: str) -> None:
+        if self.state is Connection.CONNECTING and self.connect_signal is not None:
+            sig, self.connect_signal = self.connect_signal, None
+            self._teardown()
+            sig.trigger(ConnectionReset(reason))
+            return
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self.state is Connection.CLOSED:
+            return
+        self.state = Connection.CLOSED
+        self._send_queue.clear()
+        self._retries.clear()
+        self.remote_closed = True
+        if not self.recv_channel.closed:
+            self.recv_channel.close()
+        self.tcp.forget(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Connection({self.local[0]}:{self.local[1]} <-> "
+            f"{self.remote[0]}:{self.remote[1]}, {self.state})"
+        )
+
+
+class Listener:
+    """A listening endpoint with a backlog of established connections."""
+
+    def __init__(self, tcp: "TcpLayer", local: Endpoint, backlog: int = 128) -> None:
+        self.tcp = tcp
+        self.local = local
+        self.backlog = backlog
+        self.accept_channel = Channel(tcp.stack.sim, name=f"tcp.accept/{local}")
+        self.closed = False
+
+    def accept(self) -> Signal:
+        """Signal that fires with the next established :class:`Connection`."""
+        return self.accept_channel.get()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.tcp.remove_listener(self)
+        self.accept_channel.close()
+
+
+class TcpLayer:
+    """Per-stack TCP: demux tables and packet handling."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, stack, explicit_acks: bool = False) -> None:
+        self.stack = stack
+        #: When True, data segments are acknowledged by real 40-byte
+        #: packets on the reverse path instead of the delivery-time
+        #: window credit (see the module docstring's trade-off note).
+        self.explicit_acks = explicit_acks
+        self._listeners: Dict[Tuple[int, int], Listener] = {}
+        self._conns: Dict[Tuple[int, int, int, int], Connection] = {}
+        self._next_ephemeral: Dict[int, int] = {}
+
+    # -- port management -------------------------------------------------
+    def alloc_ephemeral_port(self, local_ip: IPv4Address) -> int:
+        key = local_ip.value
+        port = self._next_ephemeral.get(key, self.EPHEMERAL_BASE)
+        start = port
+        while (key, port) in self._listeners or self._port_in_use(key, port):
+            port = port + 1 if port < 65535 else self.EPHEMERAL_BASE
+            if port == start:
+                raise SocketError("EADDRNOTAVAIL", f"no free ports on {local_ip}")
+        self._next_ephemeral[key] = port + 1 if port < 65535 else self.EPHEMERAL_BASE
+        return port
+
+    def _port_in_use(self, ip_value: int, port: int) -> bool:
+        for (lip, lport, _rip, _rport) in self._conns:
+            if lport == port and lip == ip_value:
+                return True
+        return False
+
+    # -- listener management ----------------------------------------------
+    def listen(self, local: Endpoint, backlog: int = 128) -> Listener:
+        key = (local[0].value, local[1])
+        if key in self._listeners:
+            raise AddressInUse(f"{local[0]}:{local[1]}")
+        listener = Listener(self, local, backlog)
+        self._listeners[key] = listener
+        return listener
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.pop((listener.local[0].value, listener.local[1]), None)
+
+    def _find_listener(self, dst: IPv4Address, dport: int) -> Optional[Listener]:
+        listener = self._listeners.get((dst.value, dport))
+        if listener is None:
+            listener = self._listeners.get((0, dport))  # INADDR_ANY
+        return listener
+
+    # -- connection management ---------------------------------------------
+    def connect(self, local: Endpoint, remote: Endpoint, window: int = DEFAULT_WINDOW) -> Tuple[Connection, Signal]:
+        """Open an active connection; returns (conn, completion signal).
+
+        The signal triggers with the connection on success or with a
+        :class:`SocketError` instance on failure (refused / timeout).
+        """
+        key = (local[0].value, local[1], remote[0].value, remote[1])
+        if key in self._conns:
+            raise AddressInUse(f"4-tuple {key} in use")
+        conn = Connection(self, local, remote, window=window)
+        sig = Signal(self.stack.sim, name=f"tcp.connect/{local}->{remote}")
+        conn.connect_signal = sig
+        self._conns[key] = conn
+        self._send_syn(conn, attempt=1)
+        return conn, sig
+
+    def _send_syn(self, conn: Connection, attempt: int) -> None:
+        if conn.state is not Connection.CONNECTING:
+            return
+        if attempt > SYN_RETRIES:
+            conn._fail_reset("connect timed out")
+            return
+        pkt = Packet(
+            src=conn.local[0],
+            dst=conn.remote[0],
+            proto=PROTO_TCP,
+            size=TCP_HEADER,
+            sport=conn.local[1],
+            dport=conn.remote[1],
+            kind=KIND_SYN,
+        )
+        pkt.on_drop = None  # the SYN timer below covers loss
+        self.stack.send_packet(pkt)
+        self.stack.sim.schedule(SYN_RTO * attempt, self._syn_timer, conn, attempt)
+
+    def _syn_timer(self, conn: Connection, attempt: int) -> None:
+        if conn.state is Connection.CONNECTING:
+            self._send_syn(conn, attempt + 1)
+
+    def forget(self, conn: Connection) -> None:
+        self._conns.pop(
+            (conn.local[0].value, conn.local[1], conn.remote[0].value, conn.remote[1]),
+            None,
+        )
+
+    @property
+    def connections(self) -> Dict[Tuple[int, int, int, int], Connection]:
+        return dict(self._conns)
+
+    # -- packet ingress -----------------------------------------------------
+    def handle_packet(self, pkt: Packet) -> None:
+        key = (pkt.dst.value, pkt.dport, pkt.src.value, pkt.sport)
+        conn = self._conns.get(key)
+        kind = pkt.kind
+
+        if kind == KIND_SYN:
+            if conn is not None:
+                # Duplicate SYN: our SYNACK was lost; resend it.
+                self._send_synack(conn)
+                return
+            listener = self._find_listener(pkt.dst, pkt.dport)
+            if listener is None or listener.closed:
+                self._send_rst(pkt)
+                return
+            if len(listener.accept_channel) >= listener.backlog:
+                self._send_rst(pkt)
+                return
+            server_conn = Connection(
+                self, local=(pkt.dst, pkt.dport), remote=(pkt.src, pkt.sport)
+            )
+            server_conn.state = Connection.ESTABLISHED
+            self._conns[key] = server_conn
+            self._send_synack(server_conn)
+            listener.accept_channel.put(server_conn)
+            return
+
+        if conn is None:
+            if kind not in (KIND_RST, KIND_ACK):
+                self._send_rst(pkt)
+            return
+
+        if kind == KIND_SYNACK:
+            if conn.state is Connection.CONNECTING:
+                conn.state = Connection.ESTABLISHED
+                if conn.connect_signal is not None:
+                    sig, conn.connect_signal = conn.connect_signal, None
+                    sig.trigger(conn)
+                conn._pump()
+            return
+
+        if kind == KIND_RST:
+            conn.handle_rst()
+            return
+
+        if kind in (KIND_DATA, KIND_FIN):
+            conn.handle_data(kind, pkt.payload)
+            return
+
+        if kind == KIND_ACK:
+            seg = pkt.payload
+            seg.ack_hook(seg)
+            return
+
+    def _send_synack(self, conn: Connection) -> None:
+        pkt = Packet(
+            src=conn.local[0],
+            dst=conn.remote[0],
+            proto=PROTO_TCP,
+            size=TCP_HEADER,
+            sport=conn.local[1],
+            dport=conn.remote[1],
+            kind=KIND_SYNACK,
+        )
+        pkt.on_drop = None  # client SYN timer recovers
+        self.stack.send_packet(pkt)
+
+    def _send_rst(self, offending: Packet) -> None:
+        pkt = Packet(
+            src=offending.dst,
+            dst=offending.src,
+            proto=PROTO_TCP,
+            size=TCP_HEADER,
+            sport=offending.dport,
+            dport=offending.sport,
+            kind=KIND_RST,
+        )
+        pkt.on_drop = None
+        self.stack.send_packet(pkt)

@@ -1,0 +1,156 @@
+"""The simulator: clock, scheduling and run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    A single :class:`Simulator` instance backs one experiment: all
+    machines, network components and application processes schedule
+    their work on it. Time is a float number of seconds starting at 0.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the experiment's :class:`~repro.sim.rng.RngRegistry`.
+        All stochastic components derive their streams from it, making
+        runs exactly reproducible.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (2.5, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceRecorder()
+        self._running = False
+        self._stopped = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self._queue.push(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self.now}, requested={time})"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event. Cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time; the clock is left
+            at ``until`` (events at exactly ``until`` are processed).
+        max_events:
+            Safety valve: stop after this many events.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        processed = 0
+        try:
+            while queue:
+                if self._stopped:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                ev = queue.pop()
+                self.now = ev.time
+                callback, args = ev.callback, ev.args
+                # Free references before the callback runs so that an
+                # exception does not pin the event's payload.
+                ev.callback = None
+                ev.args = ()
+                callback(*args)
+                processed += 1
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self.events_processed += processed
+            self._running = False
+
+    def step(self) -> bool:
+        """Process a single event. Returns ``False`` if none remained."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        self.now = ev.time
+        callback, args = ev.callback, ev.args
+        ev.callback = None
+        ev.args = ()
+        callback(*args)
+        self.events_processed += 1
+        return True
+
+    def stop(self) -> None:
+        """Request the active :meth:`run` loop to stop after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6f}, pending={self.pending})"

@@ -1,0 +1,20 @@
+"""The edge-centric network model (paper, "Network Emulation").
+
+P2PLab "models the Internet from the point of view of the participating
+node": each virtual node has an access link to its ISP (bandwidth up
+and down, latency, loss), and *groups* of nodes (same ISP, country or
+continent) are separated by additional latency. There is no modeled
+core network — that is the paper's deliberate contrast with ModelNet.
+
+* :mod:`repro.topology.spec` — declarative description of groups and
+  inter-group latencies;
+* :mod:`repro.topology.compiler` — turns a spec into decentralized
+  per-physical-node IPFW rules and Dummynet pipes;
+* :mod:`repro.topology.presets` — DSL profiles, the paper's Figure 7
+  topology, and the BitTorrent experiment profile.
+"""
+
+from repro.topology.compiler import TopologyCompiler, compile_topology
+from repro.topology.spec import GroupSpec, TopologySpec
+
+__all__ = ["GroupSpec", "TopologySpec", "TopologyCompiler", "compile_topology"]

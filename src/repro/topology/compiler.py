@@ -1,0 +1,153 @@
+"""Compile a topology spec into decentralized per-node emulation state.
+
+For every physical node the compiler installs exactly what the paper
+describes for the node hosting 10.1.3.207:
+
+* two rules (and two pipes) per hosted virtual node — outgoing traffic
+  through the node's upload pipe, incoming traffic through its download
+  pipe, both carrying the access-link latency and loss rate;
+* one outgoing delay rule per inter-group latency entry whose source
+  prefix covers at least one hosted virtual node ("the opposite rule
+  being on the nodes hosting" the other group).
+
+Rule numbering: vnode rules from 1000 upward (two per vnode), group
+latency rules from 100000 upward, so per-node shaping happens before
+group delays — matching the example rule list in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.net.ipfw import ACTION_PIPE, DIR_IN, DIR_OUT
+from repro.net.pipe import DummynetPipe
+from repro.topology.spec import GroupSpec, TopologySpec
+from repro.virt.deployment import PLACEMENT_BLOCK, Testbed
+from repro.virt.vnode import VirtualNode
+
+#: Rule number bases.
+VNODE_RULE_BASE = 1000
+GROUP_RULE_BASE = 100000
+
+
+class TopologyCompiler:
+    """Deploys a :class:`TopologySpec` onto a :class:`Testbed`."""
+
+    def __init__(self, spec: TopologySpec, testbed: Testbed) -> None:
+        spec.validate()
+        self.spec = spec
+        self.testbed = testbed
+        self.vnodes_by_group: Dict[str, List[VirtualNode]] = {}
+        self.rules_installed = 0
+        self.pipes_installed = 0
+
+    # ------------------------------------------------------------------
+    def deploy(self, placement: str = PLACEMENT_BLOCK) -> List[VirtualNode]:
+        """Create all virtual nodes and install all emulation rules.
+
+        All groups are deployed in a single placement pass so block
+        placement keeps each group on contiguous physical nodes (the
+        paper's "32 virtual nodes per physical node" style).
+        """
+        created = self.testbed.deploy(
+            self.spec.all_addresses(),
+            placement=placement,
+            name_prefix="node",
+            group_of=self.spec.group_of,
+        )
+        self.vnodes_by_group = {name: [] for name in self.spec.groups}
+        for vnode in created:
+            group = self.spec.groups[vnode.group]
+            self.vnodes_by_group[group.name].append(vnode)
+            self._install_vnode_rules(vnode, group)
+        self._install_group_rules()
+        return created
+
+    def _install_vnode_rules(self, vnode: VirtualNode, group: GroupSpec) -> None:
+        """Two pipes + two rules per hosted virtual node."""
+        sim = self.testbed.sim
+        fw = vnode.pnode.stack.fw
+        addr = vnode.address
+        pipe_base = 2 * addr.value  # unique, stable pipe ids per address
+        up = DummynetPipe(
+            sim,
+            bandwidth=group.up_bw,
+            delay=group.latency,
+            plr=group.plr,
+            name=f"up/{addr}",
+        )
+        down = DummynetPipe(
+            sim,
+            bandwidth=group.down_bw,
+            delay=group.latency,
+            plr=group.plr,
+            name=f"down/{addr}",
+        )
+        fw.add_pipe(pipe_base, up)
+        fw.add_pipe(pipe_base + 1, down)
+        number = VNODE_RULE_BASE + 2 * len(vnode.pnode.vnodes)
+        fw.add(ACTION_PIPE, number=number, pipe=up, src=addr, direction=DIR_OUT)
+        fw.add(ACTION_PIPE, number=number + 1, pipe=down, dst=addr, direction=DIR_IN)
+        self.pipes_installed += 2
+        self.rules_installed += 2
+
+    def _install_group_rules(self) -> None:
+        """Outgoing inter-group delay rules on hosting physical nodes."""
+        sim = self.testbed.sim
+        for pnode in self.testbed.pnodes:
+            hosted_values = [v.address.value for v in pnode.vnodes.values()]
+            if not hosted_values:
+                continue
+            number = GROUP_RULE_BASE
+            for src_net, dst_net, latency in self.spec.iter_latency_entries():
+                if not any(src_net.contains_value(v) for v in hosted_values):
+                    continue
+                pipe = DummynetPipe(
+                    sim,
+                    delay=latency,
+                    name=f"grp/{pnode.name}/{src_net}->{dst_net}",
+                )
+                pnode.stack.fw.add(
+                    ACTION_PIPE,
+                    number=number,
+                    pipe=pipe,
+                    src=src_net,
+                    dst=dst_net,
+                    direction=DIR_OUT,
+                )
+                number += 1
+                self.pipes_installed += 1
+                self.rules_installed += 1
+
+    # ------------------------------------------------------------------
+    def vnodes(self, group: str) -> List[VirtualNode]:
+        try:
+            return list(self.vnodes_by_group[group])
+        except KeyError:
+            raise TopologyError(f"no deployed group {group!r}") from None
+
+    def all_vnodes(self) -> List[VirtualNode]:
+        out: List[VirtualNode] = []
+        for vnodes in self.vnodes_by_group.values():
+            out.extend(vnodes)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vnodes": sum(len(v) for v in self.vnodes_by_group.values()),
+            "rules": self.rules_installed,
+            "pipes": self.pipes_installed,
+        }
+
+
+def compile_topology(
+    spec: TopologySpec,
+    testbed: Testbed,
+    placement: str = PLACEMENT_BLOCK,
+) -> TopologyCompiler:
+    """One-shot helper: deploy ``spec`` onto ``testbed`` and return the
+    compiler (for group lookups and stats)."""
+    compiler = TopologyCompiler(spec, testbed)
+    compiler.deploy(placement=placement)
+    return compiler

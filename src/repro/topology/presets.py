@@ -1,0 +1,119 @@
+"""Canned topologies and access-link profiles from the paper.
+
+* :func:`bittorrent_profile` — the experiment conditions of the
+  BitTorrent study: "a download rate of 2 mbps, an upload rate of
+  128 kbps, and a latency of 30 ms, reproducing the conditions of a DSL
+  connection";
+* :func:`uniform_swarm` — N identical nodes with that (or any) profile;
+* :func:`figure7_topology` — the exact hierarchical topology of
+  Figure 7 (three DSL /24 subnets inside 10.1.0.0/16, plus the 10.2/16
+  and 10.3/16 groups, with 100 ms / 400 ms / 600 ms / 1 s latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addr import IPv4Network
+from repro.topology.spec import TopologySpec
+from repro.units import kbps, mbps, ms
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """An access-link profile (bandwidths in bytes/s, latency in s)."""
+
+    down_bw: Optional[float]
+    up_bw: Optional[float]
+    latency: float
+    plr: float = 0.0
+
+
+def bittorrent_profile() -> LinkProfile:
+    """The DSL profile used for all BitTorrent experiments in the paper."""
+    return LinkProfile(down_bw=mbps(2), up_bw=kbps(128), latency=ms(30))
+
+
+def adsl_8m() -> LinkProfile:
+    """Figure 7's fast DSL class (8 Mbps / 1 Mbps, 20 ms)."""
+    return LinkProfile(down_bw=mbps(8), up_bw=mbps(1), latency=ms(20))
+
+
+def adsl_512k() -> LinkProfile:
+    """Figure 7's mid DSL class (512 kbps / 128 kbps, 40 ms)."""
+    return LinkProfile(down_bw=kbps(512), up_bw=kbps(128), latency=ms(40))
+
+
+def modem_56k() -> LinkProfile:
+    """Figure 7's modem class (56 kbps / 33.6 kbps, 100 ms)."""
+    return LinkProfile(down_bw=kbps(56), up_bw=kbps(33.6), latency=ms(100))
+
+
+def uniform_swarm(
+    count: int,
+    profile: Optional[LinkProfile] = None,
+    prefix: str = "10.0.0.0/16",
+    name: str = "swarm",
+) -> TopologySpec:
+    """N identical nodes in one group — the BitTorrent experiments'
+    network (every node sees the same DSL conditions)."""
+    profile = profile if profile is not None else bittorrent_profile()
+    spec = TopologySpec(name=name)
+    spec.add_group(
+        "peers",
+        prefix,
+        count,
+        down_bw=profile.down_bw,
+        up_bw=profile.up_bw,
+        latency=profile.latency,
+        plr=profile.plr,
+    )
+    return spec
+
+
+def figure7_topology(scale: float = 1.0) -> TopologySpec:
+    """The paper's Figure 7 topology.
+
+    ``scale`` shrinks group sizes (e.g. 0.04 gives 10/10/10/40/40 nodes)
+    for tests; the network structure and latencies are unchanged.
+    """
+
+    def n(count: int) -> int:
+        return max(1, round(count * scale))
+
+    spec = TopologySpec(name="figure7")
+    spec.add_group(
+        "modem", "10.1.1.0/24", n(250),
+        down_bw=kbps(56), up_bw=kbps(33.6), latency=ms(100),
+    )
+    spec.add_group(
+        "dsl-mid", "10.1.2.0/24", n(250),
+        down_bw=kbps(512), up_bw=kbps(128), latency=ms(40),
+    )
+    spec.add_group(
+        "dsl-fast", "10.1.3.0/24", n(250),
+        down_bw=mbps(8), up_bw=mbps(1), latency=ms(20),
+    )
+    spec.add_group(
+        "group2", "10.2.0.0/16", n(1000),
+        down_bw=mbps(10), up_bw=mbps(10), latency=ms(5),
+    )
+    spec.add_group(
+        "group3", "10.3.0.0/16", n(1000),
+        down_bw=mbps(1), up_bw=mbps(1), latency=ms(10),
+    )
+
+    # 100 ms between the DSL subnets of 10.1.0.0/16.
+    spec.add_latency("modem", "dsl-mid", ms(100))
+    spec.add_latency("modem", "dsl-fast", ms(100))
+    spec.add_latency("dsl-mid", "dsl-fast", ms(100))
+
+    # Continental latencies between the /16 super-groups (Figure 7's
+    # 400 ms / 600 ms / 1 s edges). Expressed on the /16 prefixes so one
+    # rule covers all of 10.1.0.0/16, exactly as the paper's rule list.
+    parent = IPv4Network("10.1.0.0/16")
+    spec.add_latency(parent, "group2", ms(400))
+    spec.add_latency(parent, "group3", ms(600))
+    spec.add_latency("group2", "group3", 1.0)
+    return spec

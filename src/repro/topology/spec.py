@@ -1,0 +1,168 @@
+"""Declarative topology specification.
+
+A :class:`TopologySpec` lists *groups* — sets of nodes drawn from one
+IP prefix and sharing one access-link profile — plus pairwise one-way
+latencies between groups (or between arbitrary prefixes, which lets a
+hierarchy like the paper's Figure 7 be expressed compactly: the three
+DSL /24 subnets have 100 ms pairwise latency, while their /16 parent
+has a single 400 ms rule towards another /16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import TopologyError
+from repro.net.addr import IPv4Address, IPv4Network, network
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One group of nodes with a common access-link profile.
+
+    Attributes
+    ----------
+    name:
+        Group identifier (e.g. ``"dsl-fast"``).
+    prefix:
+        IP prefix node addresses are allocated from.
+    count:
+        Number of nodes in the group.
+    down_bw / up_bw:
+        Access-link bandwidth in bytes/second towards / from the node;
+        ``None`` = unshaped. Symmetric links use the same value twice.
+    latency:
+        Access-link one-way latency (applied to both the node's
+        outgoing and incoming pipes, as in the paper's decomposition
+        where 10.1.3.207's 20 ms appears once per traversal direction).
+    plr:
+        Packet loss rate on the access link.
+    """
+
+    name: str
+    prefix: IPv4Network
+    count: int
+    down_bw: Optional[float] = None
+    up_bw: Optional[float] = None
+    latency: float = 0.0
+    plr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise TopologyError(f"group {self.name!r}: negative count")
+        if self.count >= self.prefix.num_addresses - 1:
+            raise TopologyError(
+                f"group {self.name!r}: {self.count} nodes do not fit in {self.prefix}"
+            )
+
+    def addresses(self) -> List[IPv4Address]:
+        """The node addresses of this group (host 1 .. count)."""
+        return [self.prefix.host(i + 1) for i in range(self.count)]
+
+
+class TopologySpec:
+    """A set of groups plus inter-group latency entries."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.groups: Dict[str, GroupSpec] = {}
+        # (src_prefix, dst_prefix) -> one-way latency seconds
+        self._latencies: Dict[Tuple[IPv4Network, IPv4Network], float] = {}
+
+    # ------------------------------------------------------------------
+    def add_group(
+        self,
+        name: str,
+        prefix: Union[str, IPv4Network],
+        count: int,
+        down_bw: Optional[float] = None,
+        up_bw: Optional[float] = None,
+        latency: float = 0.0,
+        plr: float = 0.0,
+    ) -> GroupSpec:
+        if name in self.groups:
+            raise TopologyError(f"duplicate group {name!r}")
+        prefix = network(prefix)
+        for other in self.groups.values():
+            if prefix == other.prefix:
+                raise TopologyError(
+                    f"group {name!r} reuses prefix {prefix} of {other.name!r}"
+                )
+        group = GroupSpec(name, prefix, count, down_bw, up_bw, latency, plr)
+        self.groups[name] = group
+        return group
+
+    def _resolve_prefix(self, spec: Union[str, IPv4Network]) -> IPv4Network:
+        if isinstance(spec, str) and spec in self.groups:
+            return self.groups[spec].prefix
+        return network(spec)
+
+    def add_latency(
+        self,
+        src: Union[str, IPv4Network],
+        dst: Union[str, IPv4Network],
+        latency: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Add one-way latency from ``src`` to ``dst`` prefixes.
+
+        Arguments may be group names or raw prefixes (for hierarchy
+        levels above the groups). ``symmetric`` also installs the
+        reverse entry, which is the common case.
+        """
+        if latency < 0:
+            raise TopologyError(f"negative latency {latency}")
+        src_net, dst_net = self._resolve_prefix(src), self._resolve_prefix(dst)
+        if src_net == dst_net:
+            raise TopologyError(f"latency from {src_net} to itself")
+        self._latencies[(src_net, dst_net)] = latency
+        if symmetric:
+            self._latencies[(dst_net, src_net)] = latency
+
+    # ------------------------------------------------------------------
+    @property
+    def latencies(self) -> Dict[Tuple[IPv4Network, IPv4Network], float]:
+        return dict(self._latencies)
+
+    def total_nodes(self) -> int:
+        return sum(g.count for g in self.groups.values())
+
+    def all_addresses(self) -> List[IPv4Address]:
+        """All node addresses, in group insertion order."""
+        out: List[IPv4Address] = []
+        for group in self.groups.values():
+            out.extend(group.addresses())
+        return out
+
+    def group_of(self, addr: IPv4Address) -> Optional[str]:
+        """The most specific group whose prefix contains ``addr``."""
+        best: Optional[GroupSpec] = None
+        for group in self.groups.values():
+            if addr in group.prefix and (
+                best is None or group.prefix.prefixlen > best.prefix.prefixlen
+            ):
+                best = group
+        return best.name if best is not None else None
+
+    def validate(self) -> None:
+        """Check group prefixes for conflicts (overlap is allowed only
+        for distinct prefix lengths, i.e. hierarchy, not for peers)."""
+        groups = list(self.groups.values())
+        for i, a in enumerate(groups):
+            for b in groups[i + 1 :]:
+                if a.prefix.prefixlen == b.prefix.prefixlen and a.prefix.overlaps(b.prefix):
+                    raise TopologyError(
+                        f"groups {a.name!r} and {b.name!r} overlap: "
+                        f"{a.prefix} vs {b.prefix}"
+                    )
+
+    def iter_latency_entries(self) -> Iterator[Tuple[IPv4Network, IPv4Network, float]]:
+        for (src, dst), lat in self._latencies.items():
+            yield src, dst, lat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologySpec({self.name!r}, groups={len(self.groups)}, "
+            f"nodes={self.total_nodes()}, latency_entries={len(self._latencies)})"
+        )

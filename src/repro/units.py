@@ -1,0 +1,101 @@
+"""Unit helpers: bit rates, byte sizes and durations.
+
+The emulation works internally in **bytes**, **bytes per second** and
+**seconds** (floats). The paper quotes link speeds in kbps/Mbps and
+latencies in milliseconds; these helpers keep conversions explicit and
+greppable instead of scattering magic constants.
+
+Examples
+--------
+>>> from repro.units import kbps, mbps, ms, KB, MB
+>>> kbps(128)        # 128 kilobits/second, in bytes/second
+16000.0
+>>> mbps(2)
+250000.0
+>>> ms(30)
+0.03
+>>> 16 * MB
+16777216
+"""
+
+from __future__ import annotations
+
+#: One kilobyte / megabyte / gigabyte (binary, as BitTorrent uses them).
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def bits(n: float) -> float:
+    """Convert a number of bits to bytes."""
+    return n / 8.0
+
+
+def bps(rate: float) -> float:
+    """Bit rate in bits/second -> bytes/second."""
+    return rate / 8.0
+
+
+def kbps(rate: float) -> float:
+    """Bit rate in kilobits/second (decimal, as ISPs quote) -> bytes/second."""
+    return rate * 1000.0 / 8.0
+
+
+def mbps(rate: float) -> float:
+    """Bit rate in megabits/second -> bytes/second."""
+    return rate * 1_000_000.0 / 8.0
+
+
+def gbps(rate: float) -> float:
+    """Bit rate in gigabits/second -> bytes/second."""
+    return rate * 1_000_000_000.0 / 8.0
+
+
+def us(t: float) -> float:
+    """Microseconds -> seconds."""
+    return t * 1e-6
+
+
+def ms(t: float) -> float:
+    """Milliseconds -> seconds."""
+    return t * 1e-3
+
+
+def minutes(t: float) -> float:
+    """Minutes -> seconds."""
+    return t * 60.0
+
+
+def to_mbit(nbytes: float) -> float:
+    """Bytes -> megabits (for reporting link speeds)."""
+    return nbytes * 8.0 / 1_000_000.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary prefixes)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable bit rate from bytes/second."""
+    bits_per_s = bytes_per_s * 8.0
+    for unit, div in (("Gbps", 1e9), ("Mbps", 1e6), ("kbps", 1e3)):
+        if bits_per_s >= div:
+            return f"{bits_per_s / div:.2f} {unit}"
+    return f"{bits_per_s:.0f} bps"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

@@ -1,0 +1,23 @@
+"""Process-level virtualization (the paper's "Virtualization" section).
+
+P2PLab virtualizes only the *network identity* of processes: every
+virtual node is an ordinary process whose ``bind``/``connect``/``listen``
+libc calls are rewritten to pin it to its own alias IP address
+(``BINDIP``). This subpackage models that mechanism:
+
+* :mod:`repro.virt.libc` — the modified C library, with per-syscall
+  cost accounting (reproduces the 10.22 µs → 10.79 µs connect-cycle
+  measurement);
+* :mod:`repro.virt.vnode` — a virtual node: identity + process spawner;
+* :mod:`repro.virt.pnode` — a physical node: stack + hosted vnodes +
+  optional CPU accounting;
+* :mod:`repro.virt.deployment` — a whole testbed and the folding
+  placement of virtual onto physical nodes (Figure 9).
+"""
+
+from repro.virt.deployment import Testbed
+from repro.virt.libc import Libc
+from repro.virt.pnode import PhysicalNode
+from repro.virt.vnode import VirtualNode
+
+__all__ = ["Libc", "VirtualNode", "PhysicalNode", "Testbed"]

@@ -1,0 +1,126 @@
+"""Testbed construction and folding placement.
+
+A :class:`Testbed` is the emulated GridExplorer cluster: a switch and a
+set of physical nodes on the administration subnet. Deployment places N
+virtual nodes on M physical nodes — the paper deploys the same 160
+clients "successively on 160 physical nodes, 16 physical nodes (10
+virtual nodes per physical node), 8, 4 and 2 physical nodes" and checks
+that results do not change (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import VirtualizationError
+from repro.net.addr import IPv4Address, IPv4Network, network
+from repro.net.switch import Switch
+from repro.sim import Simulator
+from repro.units import gbps, us
+from repro.virt.pnode import PhysicalNode
+from repro.virt.vnode import VirtualNode
+
+#: Placement strategies.
+PLACEMENT_BLOCK = "block"
+PLACEMENT_ROUND_ROBIN = "round-robin"
+
+
+class Testbed:
+    """The emulated cluster: switch + physical nodes + virtual nodes."""
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        num_pnodes: int = 2,
+        admin_network: Union[str, IPv4Network] = "192.168.38.0/24",
+        port_bandwidth: float = gbps(1),
+        port_delay: float = us(60),
+        seed: int = 0,
+        ncpus: int = 2,
+        enforce_cpu: bool = False,
+        tcp_explicit_acks: bool = False,
+    ) -> None:
+        if num_pnodes < 1:
+            raise VirtualizationError(f"need at least one physical node, got {num_pnodes}")
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.admin_network = network(admin_network)
+        if num_pnodes >= self.admin_network.num_addresses - 1:
+            raise VirtualizationError(
+                f"{num_pnodes} physical nodes do not fit in {self.admin_network}"
+            )
+        self.switch = Switch(self.sim, port_bandwidth=port_bandwidth, port_delay=port_delay)
+        self.pnodes: List[PhysicalNode] = [
+            PhysicalNode(
+                self.sim,
+                name=f"pnode{i + 1}",
+                admin_address=self.admin_network.host(i + 1),
+                switch=self.switch,
+                ncpus=ncpus,
+                enforce_cpu=enforce_cpu,
+                tcp_explicit_acks=tcp_explicit_acks,
+            )
+            for i in range(num_pnodes)
+        ]
+        self.vnodes: Dict[str, VirtualNode] = {}
+        self._by_address: Dict[int, VirtualNode] = {}
+
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        addresses: Sequence[IPv4Address],
+        placement: str = PLACEMENT_BLOCK,
+        name_prefix: str = "vnode",
+        group_of: Optional[Callable[[IPv4Address], Optional[str]]] = None,
+    ) -> List[VirtualNode]:
+        """Place one virtual node per address onto the physical nodes.
+
+        ``block`` placement fills physical nodes with contiguous slices
+        (ceil(N/M) per node, the paper's "32 virtual nodes per physical
+        node" style); ``round-robin`` deals addresses out cyclically.
+        """
+        n, m = len(addresses), len(self.pnodes)
+        if n == 0:
+            return []
+        created: List[VirtualNode] = []
+        per_node = -(-n // m)  # ceil
+        for i, addr in enumerate(addresses):
+            if placement == PLACEMENT_BLOCK:
+                pnode = self.pnodes[i // per_node]
+            elif placement == PLACEMENT_ROUND_ROBIN:
+                pnode = self.pnodes[i % m]
+            else:
+                raise VirtualizationError(f"unknown placement {placement!r}")
+            name = f"{name_prefix}{len(self.vnodes) + 1}"
+            group = group_of(addr) if group_of is not None else None
+            vnode = pnode.add_vnode(name, addr, group=group)
+            self.vnodes[name] = vnode
+            self._by_address[vnode.address.value] = vnode
+            created.append(vnode)
+        return created
+
+    def vnode_at(self, address: Union[IPv4Address, str]) -> VirtualNode:
+        value = address.value if isinstance(address, IPv4Address) else IPv4Address(address).value
+        try:
+            return self._by_address[value]
+        except KeyError:
+            raise VirtualizationError(f"no vnode at {address}") from None
+
+    # ------------------------------------------------------------------
+    @property
+    def folding_ratios(self) -> List[int]:
+        return [p.folding_ratio for p in self.pnodes]
+
+    def total_vnodes(self) -> int:
+        return len(self.vnodes)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Convenience passthrough to the simulator."""
+        self.sim.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Testbed(pnodes={len(self.pnodes)}, vnodes={len(self.vnodes)}, "
+            f"t={self.sim.now:.1f}s)"
+        )

@@ -1,0 +1,86 @@
+"""Virtual nodes: a network identity plus application processes.
+
+A virtual node is *not* a virtual machine — it is exactly what P2PLab
+makes it: an IP alias on its physical host plus processes whose libc is
+configured with ``BINDIP`` pointing at that alias. All other resources
+(CPU, memory, filesystem) are shared with the host, which is why the
+folding experiments must watch for host saturation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+from repro.net.addr import IPv4Address
+from repro.sim.process import Process
+from repro.virt.libc import DEFAULT_SYSCALL_COST, Libc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virt.pnode import PhysicalNode
+
+#: An application is a callable taking the vnode and returning a generator.
+AppFactory = Callable[["VirtualNode"], Generator[Any, Any, Any]]
+
+
+class VirtualNode:
+    """One emulated peer: address, libc, processes, and a log."""
+
+    def __init__(
+        self,
+        pnode: "PhysicalNode",
+        name: str,
+        address: IPv4Address,
+        group: Optional[str] = None,
+        syscall_cost: float = DEFAULT_SYSCALL_COST,
+    ) -> None:
+        self.pnode = pnode
+        self.name = name
+        self.address = address
+        self.group = group
+        self.sim = pnode.sim
+        self.libc = Libc(
+            pnode.stack,
+            bindip=address,
+            intercepting=True,
+            syscall_cost=syscall_cost,
+        )
+        #: Relative virtual-processor speed (1.0 = a full host CPU) —
+        #: the Desktop-Computing extension the paper lists as future
+        #: work; see CpuAccount.charge.
+        self.cpu_speed: float = 1.0
+        self.processes: List[Process] = []
+
+    def spawn(self, app: AppFactory, start_delay: float = 0.0, name: Optional[str] = None) -> Process:
+        """Start an application process on this virtual node."""
+        proc = Process(
+            self.sim,
+            app(self),
+            name=name or f"{self.name}/{getattr(app, '__name__', 'app')}",
+            start_delay=start_delay,
+        )
+        self.processes.append(proc)
+        return proc
+
+    def log(self, category: str, **fields: Any) -> None:
+        """Emit a time-stamped trace record tagged with this node.
+
+        This models the paper's instrumentation: "a time-stamp was added
+        to the default output" of the BitTorrent client.
+        """
+        self.sim.trace.record(self.sim.now, category, node=self.name, **fields)
+
+    @property
+    def rng(self):
+        """A named RNG stream private to this virtual node."""
+        return self.sim.rng.stream(f"vnode/{self.name}")
+
+    def compute(self, cpu_seconds: float) -> float:
+        """Charge CPU work at this vnode's speed; returns the wall-time
+        delay the calling process must yield::
+
+            yield vnode.compute(2.0)   # 2 CPU-seconds of work
+        """
+        return self.pnode.cpu.charge(cpu_seconds, speed=self.cpu_speed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualNode({self.name!r}, {self.address}, on {self.pnode.name!r})"

@@ -1,0 +1,133 @@
+"""Tests for analysis utilities (series, cdf, tables) and collectors."""
+
+import pytest
+
+from repro.analysis.cdf import empirical_cdf, quantile, spread
+from repro.analysis.series import interpolate_at, max_abs_gap, relative_gap, resample
+from repro.analysis.tables import Table, render_ascii_series
+from repro.core.collector import (
+    completion_curve,
+    completion_times,
+    progress_series,
+    selected_nodes,
+    total_payload_curve,
+)
+from repro.sim.trace import TraceRecorder
+
+
+class TestSeries:
+    SERIES = [(0.0, 0.0), (10.0, 5.0), (20.0, 9.0)]
+
+    def test_interpolate_step(self):
+        assert interpolate_at(self.SERIES, -1.0) == 0.0
+        assert interpolate_at(self.SERIES, 0.0) == 0.0
+        assert interpolate_at(self.SERIES, 10.0) == 5.0
+        assert interpolate_at(self.SERIES, 15.0) == 5.0
+        assert interpolate_at(self.SERIES, 100.0) == 9.0
+        assert interpolate_at([], 5.0) == 0.0
+
+    def test_resample(self):
+        assert resample(self.SERIES, [5.0, 10.0, 25.0]) == [0.0, 5.0, 9.0]
+
+    def test_max_abs_gap(self):
+        other = [(0.0, 0.0), (10.0, 7.0), (20.0, 9.0)]
+        assert max_abs_gap(self.SERIES, other, [0.0, 10.0, 15.0, 20.0]) == 2.0
+        assert max_abs_gap(self.SERIES, other, []) == 0.0
+
+    def test_relative_gap(self):
+        other = [(0.0, 0.0), (10.0, 7.0), (20.0, 9.0)]
+        assert relative_gap(self.SERIES, other, [10.0]) == pytest.approx(2.0 / 9.0)
+        assert relative_gap([], other, [10.0]) == 0.0
+
+
+class TestCdf:
+    def test_empirical(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert cdf == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+        assert empirical_cdf([]) == []
+
+    def test_quantile(self):
+        values = list(range(1, 101))
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 100
+        assert quantile(values, 0.5) == pytest.approx(50, abs=1)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_spread(self):
+        assert spread([10.0, 10.0]) == 0.0
+        assert spread([5.0, 15.0]) == 1.0
+        assert spread([]) == 0.0
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(["a", "long-col"], title="demo")
+        t.add_row(1, 2.5)
+        t.add_row("xx", 10000.0)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "long-col" in lines[1]
+        assert len(t) == 2
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row(0.00012)
+        t.add_row(12345.6)
+        out = t.render()
+        assert "0.0001" in out
+        assert "12346" in out
+
+    def test_ascii_series(self):
+        out = render_ascii_series([(0, 0), (1, 1), (2, 4)], width=20, height=5, title="t")
+        assert "t" in out
+        assert "*" in out
+        assert render_ascii_series([], title="e").endswith("(no data)")
+
+
+def make_trace():
+    tr = TraceRecorder()
+    tr.enable("bt.progress", "bt.complete")
+    # Two clients; a downloads two pieces, b one.
+    tr.record(10.0, "bt.progress", node="a", pct=50.0, payload=100, piece=0)
+    tr.record(12.0, "bt.progress", node="b", pct=100.0, payload=200, piece=0)
+    tr.record(12.0, "bt.complete", node="b", duration=12.0)
+    tr.record(20.0, "bt.progress", node="a", pct=100.0, payload=200, piece=1)
+    tr.record(20.0, "bt.complete", node="a", duration=20.0)
+    return tr
+
+
+class TestCollectors:
+    def test_progress_series(self):
+        series = progress_series(make_trace())
+        assert series["a"] == [(10.0, 50.0), (20.0, 100.0)]
+        assert series["b"] == [(12.0, 100.0)]
+
+    def test_progress_series_single_node(self):
+        series = progress_series(make_trace(), node="a")
+        assert list(series) == ["a"]
+
+    def test_completion_curve(self):
+        assert completion_curve(make_trace()) == [(12.0, 1.0), (20.0, 2.0)]
+        assert completion_times(make_trace()) == [12.0, 20.0]
+
+    def test_total_payload_curve(self):
+        curve = total_payload_curve(make_trace(), bucket=10.0)
+        values = dict(curve)
+        # Bucket edges are inclusive: t=10 carries a's first 100 bytes,
+        # t=20 the full 400 (a's second piece lands exactly on the edge).
+        assert values[10.0] == pytest.approx(100.0)
+        assert values[20.0] == pytest.approx(400.0)
+        assert curve[-1][1] == 400.0
+
+    def test_selected_nodes(self):
+        names = [f"n{i}" for i in range(1, 11)]
+        assert selected_nodes(names, 5) == ["n5", "n10"]

@@ -1,0 +1,99 @@
+"""Robustness tests: late trackers, peer caps, candidate hygiene."""
+
+import pytest
+
+from repro.bittorrent.client import BitTorrentClient, ClientConfig
+from repro.bittorrent.metainfo import Torrent
+from repro.bittorrent.tracker import TrackerServer
+from repro.net.addr import IPv4Address
+from repro.topology.compiler import compile_topology
+from repro.topology.presets import uniform_swarm
+from repro.topology.spec import TopologySpec
+from repro.units import KB, MB, kbps, mbps, ms
+from repro.virt import Testbed
+
+
+def build_manual_swarm(n_peers=3, tracker_delay=0.0, config=None):
+    """Hand-assembled swarm where the tracker can start late."""
+    testbed = Testbed(num_pnodes=2, seed=37)
+    spec = TopologySpec("robust")
+    spec.add_group("peers", "10.0.0.0/24", n_peers,
+                   down_bw=mbps(2), up_bw=kbps(128), latency=ms(10))
+    spec.add_group("infra", "10.254.0.0/24", 1, latency=ms(1))
+    compiler = compile_topology(spec, testbed)
+    testbed.sim.trace.enable("bt.progress", "bt.complete")
+
+    tracker = TrackerServer(compiler.vnodes("infra")[0])
+    torrent = Torrent("r", total_size=512 * KB, tracker_addr=tracker.address)
+    peers = compiler.vnodes("peers")
+    cfg = config or ClientConfig()
+    seeder = BitTorrentClient(peers[0], torrent, seeder=True, config=cfg)
+    leechers = [BitTorrentClient(v, torrent, config=cfg) for v in peers[1:]]
+
+    testbed.sim.schedule(tracker_delay, tracker.start)
+    testbed.sim.schedule(0.1, seeder.start)
+    for i, leecher in enumerate(leechers):
+        testbed.sim.schedule(0.2 + i, leecher.start)
+    return testbed, tracker, seeder, leechers
+
+
+class TestLateTracker:
+    def test_clients_survive_tracker_starting_late(self):
+        """First announces are refused (nothing listens); clients retry
+        within a couple of maintenance rounds and still complete."""
+        testbed, tracker, seeder, leechers = build_manual_swarm(tracker_delay=45.0)
+        testbed.sim.run(until=3000.0)
+        assert all(c.complete for c in leechers)
+        assert tracker.announces >= len(leechers) + 1
+
+    def test_failed_announce_retries_quickly(self):
+        testbed, tracker, seeder, leechers = build_manual_swarm(tracker_delay=45.0)
+        # By t=120 the retry (2 x maintain_interval after failure) must
+        # have reached the now-live tracker.
+        testbed.sim.run(until=120.0)
+        assert tracker.announces > 0
+
+
+class TestPeerCap:
+    def test_max_peers_enforced(self):
+        """The cap holds at every instant. (A cap this low can even
+        partition the swarm — degree-2 random graphs fragment — which
+        is why mainline keeps dozens of connections; completion is
+        deliberately not asserted here.)"""
+        cfg = ClientConfig(max_peers=2, min_peers=2)
+        testbed, tracker, seeder, leechers = build_manual_swarm(
+            n_peers=6, config=cfg
+        )
+        clients = [seeder, *leechers]
+        violations = []
+
+        def check():
+            violations.extend(c for c in clients if c.peer_count > 2)
+            testbed.sim.schedule(10.0, check)
+
+        testbed.sim.schedule(5.0, check)
+        testbed.sim.run(until=600.0)
+        assert not violations
+
+    def test_generous_cap_lets_swarm_complete(self):
+        cfg = ClientConfig(max_peers=10, min_peers=5)
+        testbed, tracker, seeder, leechers = build_manual_swarm(
+            n_peers=6, config=cfg
+        )
+        testbed.sim.run(until=3000.0)
+        assert all(c.complete for c in leechers)
+
+
+class TestCandidateHygiene:
+    def test_add_candidates_dedupes_and_skips_self(self):
+        testbed = Testbed(num_pnodes=1, seed=40)
+        compiler = compile_topology(uniform_swarm(1, prefix="10.0.0.0/24"), testbed)
+        vnode = compiler.all_vnodes()[0]
+        torrent = Torrent("t", total_size=256 * KB, tracker_addr=None)
+        client = BitTorrentClient(vnode, torrent)
+        me = (vnode.address, client.config.listen_port)
+        other = (IPv4Address("10.0.0.99"), 6881)
+        client.add_candidates([me, other, other, me])
+        assert client._candidates == [other]
+        client.add_candidates([other])
+        assert client._candidates == [other]

@@ -1,0 +1,385 @@
+"""Unit tests for BitTorrent components: metainfo, bitfield, messages,
+piece picker, rate meter, tracker logic."""
+
+import pytest
+
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.choker import RateMeter
+from repro.bittorrent.messages import (
+    BitfieldMsg,
+    Cancel,
+    Choke,
+    Handshake,
+    Have,
+    Interested,
+    KeepAlive,
+    NotInterested,
+    Piece,
+    Request,
+    Unchoke,
+)
+from repro.bittorrent.metainfo import Torrent
+from repro.bittorrent.piece_picker import ENDGAME_DUPLICATION, PiecePicker
+from repro.bittorrent.tracker import AnnounceRequest, TrackerServer
+from repro.errors import ProtocolError
+from repro.net.addr import IPv4Address
+from repro.units import KB, MB
+
+
+class TestTorrent:
+    def test_paper_defaults(self):
+        t = Torrent("f", total_size=16 * MB)
+        assert t.piece_length == 256 * KB
+        assert t.num_pieces == 64
+        assert t.blocks_in_piece(0) == 16
+        assert t.total_blocks() == 1024
+
+    def test_short_last_piece(self):
+        t = Torrent("f", total_size=1000, piece_length=256, block_size=100)
+        assert t.num_pieces == 4
+        assert t.piece_size(3) == 1000 - 3 * 256
+        assert t.blocks_in_piece(3) == 3
+        assert t.block_size_of(3, 2) == 232 - 200
+
+    def test_block_sizes_sum_to_piece(self):
+        t = Torrent("f", total_size=999, piece_length=250, block_size=64)
+        for p in range(t.num_pieces):
+            total = sum(t.block_size_of(p, b) for b in range(t.blocks_in_piece(p)))
+            assert total == t.piece_size(p)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_size": 0},
+            {"piece_length": 0},
+            {"piece_length": 32 * MB},
+            {"block_size": 0},
+            {"block_size": 512 * KB},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ProtocolError):
+            Torrent("f", **{"total_size": 16 * MB, **kwargs})
+
+    def test_out_of_range_piece(self):
+        t = Torrent("f", total_size=MB)
+        with pytest.raises(ProtocolError):
+            t.piece_size(t.num_pieces)
+        with pytest.raises(ProtocolError):
+            t.block_size_of(0, 99)
+
+
+class TestBitfield:
+    def test_set_has_count(self):
+        bf = Bitfield(10)
+        assert bf.empty and not bf.complete
+        bf.set(3)
+        bf.set(7)
+        assert bf.has(3) and 7 in bf and 2 not in bf
+        assert bf.count() == 2
+        assert bf.fraction() == 0.2
+
+    def test_full(self):
+        bf = Bitfield(5, full=True)
+        assert bf.complete
+        assert list(bf.missing()) == []
+        assert list(bf.present()) == [0, 1, 2, 3, 4]
+
+    def test_clear(self):
+        bf = Bitfield(5, full=True)
+        bf.clear(2)
+        assert list(bf.missing()) == [2]
+
+    def test_and_not(self):
+        a, b = Bitfield(8), Bitfield(8)
+        a.set(1)
+        a.set(3)
+        a.set(5)
+        b.set(3)
+        assert list(a.and_not(b)) == [1, 5]
+        assert a.any_and_not(b)
+        assert not b.any_and_not(a)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ProtocolError):
+            list(Bitfield(4).and_not(Bitfield(5)))
+        with pytest.raises(ProtocolError):
+            Bitfield(4).any_and_not(Bitfield(5))
+
+    def test_bounds(self):
+        bf = Bitfield(4)
+        with pytest.raises(ProtocolError):
+            bf.set(4)
+        with pytest.raises(ProtocolError):
+            bf.has(-1)
+        with pytest.raises(ProtocolError):
+            Bitfield(0)
+
+    def test_copy_independent(self):
+        a = Bitfield(4)
+        a.set(0)
+        b = a.copy()
+        b.set(1)
+        assert not a.has(1)
+        assert a == a.copy()
+
+    def test_wire_size(self):
+        assert Bitfield(8).wire_size == 1
+        assert Bitfield(9).wire_size == 2
+        assert Bitfield(64).wire_size == 8
+
+
+class TestMessages:
+    def test_wire_sizes_match_bep3(self):
+        assert Handshake(1, "x").wire_size == 68
+        assert KeepAlive().wire_size == 4
+        assert Choke().wire_size == 5
+        assert Unchoke().wire_size == 5
+        assert Interested().wire_size == 5
+        assert NotInterested().wire_size == 5
+        assert Have(3).wire_size == 9
+        assert Request(0, 1).wire_size == 17
+        assert Cancel(0, 1).wire_size == 17
+        assert Piece(0, 1, 16 * KB).wire_size == 13 + 16 * KB
+        assert BitfieldMsg(Bitfield(64)).wire_size == 5 + 8
+
+    def test_bitfield_msg_snapshots(self):
+        bf = Bitfield(8)
+        m = BitfieldMsg(bf)
+        bf.set(0)
+        assert not m.bitfield.has(0)
+
+    def test_kind(self):
+        assert Choke().kind == "choke"
+        assert Request(0, 0).kind == "request"
+
+
+def make_picker(num_pieces=8, blocks=2, rng_seed=1, **kw):
+    from repro.sim.rng import RngRegistry
+
+    t = Torrent("f", total_size=num_pieces * 200, piece_length=200, block_size=100)
+    assert t.blocks_in_piece(0) == blocks
+    have = Bitfield(t.num_pieces)
+    rng = RngRegistry(rng_seed).stream("picker")
+    return t, have, PiecePicker(t, have, rng, **kw)
+
+
+class TestPiecePicker:
+    def full_peer(self, t):
+        return Bitfield(t.num_pieces, full=True)
+
+    def test_no_request_from_empty_peer(self):
+        t, have, picker = make_picker()
+        assert picker.next_request(Bitfield(t.num_pieces)) is None
+
+    def test_requests_cover_all_blocks(self):
+        t, have, picker = make_picker()
+        peer = self.full_peer(t)
+        seen = set()
+        while True:
+            req = picker.next_request(peer)
+            if req is None:
+                break
+            assert req not in seen
+            seen.add(req)
+            assert picker.on_block(*req) in ("block", "piece")
+        assert have.complete
+        assert len(seen) == t.total_blocks()
+
+    def test_strict_priority_finishes_started_piece(self):
+        t, have, picker = make_picker()
+        peer = self.full_peer(t)
+        p1, b1 = picker.next_request(peer)
+        p2, b2 = picker.next_request(peer)
+        assert p2 == p1 and b2 != b1  # second block of the same piece
+
+    def test_rarest_first_after_random_phase(self):
+        t, have, picker = make_picker(random_first=0)
+        # Piece 5 is rare (1 copy), everything else has 3 copies.
+        for i in range(t.num_pieces):
+            picker.availability[i] = 3
+        picker.availability[5] = 1
+        peer = self.full_peer(t)
+        p, _b = picker.next_request(peer)
+        assert p == 5
+
+    def test_random_first_ignores_rarity(self):
+        t, have, picker = make_picker(random_first=4)
+        for i in range(t.num_pieces):
+            picker.availability[i] = 3
+        picker.availability[5] = 1
+        peer = self.full_peer(t)
+        picks = set()
+        # Drain full pieces a few times; with random-first the first
+        # picks are spread, not pinned to piece 5.
+        for _ in range(4):
+            p, b = picker.next_request(peer)
+            picks.add(p)
+            # complete that piece
+            picker.on_block(p, b)
+            req = picker.next_request(peer)
+            picker.on_block(*req)
+        assert picks != {5}
+
+    def test_availability_tracking(self):
+        t, have, picker = make_picker()
+        bf = Bitfield(t.num_pieces)
+        bf.set(2)
+        picker.peer_bitfield_added(bf)
+        picker.peer_has(2)
+        assert picker.availability[2] == 2
+        picker.peer_bitfield_removed(bf)
+        assert picker.availability[2] == 1
+
+    def test_interesting(self):
+        t, have, picker = make_picker()
+        peer = Bitfield(t.num_pieces)
+        assert not picker.interesting(peer)
+        peer.set(0)
+        assert picker.interesting(peer)
+        have.set(0)
+        assert not picker.interesting(peer)
+
+    def test_endgame_duplicates_bounded(self):
+        t, have, picker = make_picker(num_pieces=1)
+        peer = self.full_peer(t)
+        r1 = picker.next_request(peer)
+        r2 = picker.next_request(peer)
+        assert r1 is not None and r2 is not None
+        assert picker.endgame
+        # Endgame now allows duplicating each outstanding block once.
+        dups = set()
+        while True:
+            r = picker.next_request(peer)
+            if r is None:
+                break
+            dups.add(r)
+        assert dups == {r1, r2}
+        assert picker.outstanding_for(*r1) == ENDGAME_DUPLICATION
+
+    def test_endgame_disabled(self):
+        t, have, picker = make_picker(num_pieces=1, endgame_enabled=False)
+        peer = self.full_peer(t)
+        picker.next_request(peer)
+        picker.next_request(peer)
+        assert not picker.endgame
+        assert picker.next_request(peer) is None
+
+    def test_request_failed_requeues(self):
+        t, have, picker = make_picker(num_pieces=1)
+        peer = self.full_peer(t)
+        r1 = picker.next_request(peer)
+        picker.on_request_failed(*r1)
+        r1_again = picker.next_request(peer)
+        assert r1_again == r1
+
+    def test_duplicate_block_detected(self):
+        t, have, picker = make_picker()
+        peer = self.full_peer(t)
+        req = picker.next_request(peer)
+        assert picker.on_block(*req) == "block"
+        assert picker.on_block(*req) == "dup"
+        assert picker.duplicate_blocks == 1
+
+    def test_block_for_owned_piece_is_dup(self):
+        t, have, picker = make_picker()
+        have.set(0)
+        assert picker.on_block(0, 0) == "dup"
+
+    def test_remaining_blocks(self):
+        t, have, picker = make_picker(num_pieces=2)
+        assert picker.remaining_blocks() == 4
+        peer = self.full_peer(t)
+        req = picker.next_request(peer)
+        picker.on_block(*req)
+        assert picker.remaining_blocks() == 3
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        m = RateMeter(bucket_width=5.0, nbuckets=4)
+        m.record(0.0, 1000)
+        m.record(6.0, 1000)
+        assert m.rate(10.0) == pytest.approx(2000 / 20.0)
+        assert m.total == 2000
+
+    def test_old_buckets_expire(self):
+        m = RateMeter(bucket_width=5.0, nbuckets=4)
+        m.record(0.0, 10_000)
+        assert m.rate(100.0) == 0.0
+
+    def test_partial_expiry(self):
+        m = RateMeter(bucket_width=5.0, nbuckets=4)
+        m.record(0.0, 800)   # bucket 0
+        m.record(6.0, 400)   # bucket 1
+        # At t=21 bucket 0 (epoch 0) has fallen out, bucket 1 remains.
+        assert m.rate(21.0) == pytest.approx(400 / 20.0)
+
+
+class TestTrackerLogic:
+    def make_tracker(self):
+        from repro.virt import Testbed
+
+        tb = Testbed(num_pnodes=1, seed=5)
+        v = tb.deploy([IPv4Address("10.9.0.1")])[0]
+        return TrackerServer(v)
+
+    def announce(self, tracker, ip, port=6881, event="started", left=100):
+        return tracker.handle_announce(
+            AnnounceRequest(
+                infohash=7, peer_ip=IPv4Address(ip), peer_port=port,
+                event=event, left=left, numwant=50,
+            )
+        )
+
+    def test_first_peer_gets_empty_list(self):
+        tracker = self.make_tracker()
+        resp = self.announce(tracker, "10.0.0.1")
+        assert resp.peers == ()
+        assert resp.incomplete == 1
+
+    def test_peers_learn_about_each_other(self):
+        tracker = self.make_tracker()
+        self.announce(tracker, "10.0.0.1")
+        resp = self.announce(tracker, "10.0.0.2")
+        assert (IPv4Address("10.0.0.1"), 6881) in resp.peers
+
+    def test_requester_excluded_from_sample(self):
+        tracker = self.make_tracker()
+        for i in range(1, 6):
+            self.announce(tracker, f"10.0.0.{i}")
+        resp = self.announce(tracker, "10.0.0.1")
+        assert (IPv4Address("10.0.0.1"), 6881) not in resp.peers
+
+    def test_numwant_caps_sample(self):
+        tracker = self.make_tracker()
+        for i in range(1, 30):
+            self.announce(tracker, f"10.0.0.{i}")
+        resp = tracker.handle_announce(
+            AnnounceRequest(
+                infohash=7, peer_ip=IPv4Address("10.0.1.1"), peer_port=6881,
+                numwant=5,
+            )
+        )
+        assert len(resp.peers) == 5
+
+    def test_seeder_counted_complete(self):
+        tracker = self.make_tracker()
+        self.announce(tracker, "10.0.0.1", left=0)
+        resp = self.announce(tracker, "10.0.0.2", left=50)
+        assert resp.complete == 1
+        assert resp.incomplete == 1
+
+    def test_stopped_removes_peer(self):
+        tracker = self.make_tracker()
+        self.announce(tracker, "10.0.0.1")
+        assert tracker.swarm_size(7) == 1
+        self.announce(tracker, "10.0.0.1", event="stopped")
+        assert tracker.swarm_size(7) == 0
+
+    def test_response_wire_size_grows_with_peers(self):
+        tracker = self.make_tracker()
+        r0 = self.announce(tracker, "10.0.0.1")
+        self.announce(tracker, "10.0.0.2")
+        r2 = self.announce(tracker, "10.0.0.3")
+        assert r2.wire_size > r0.wire_size

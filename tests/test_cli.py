@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import _parse_overrides, main
+
+
+class TestOverrideParsing:
+    def test_type_coercion(self):
+        overrides = _parse_overrides(["a=1", "b=2.5", "c=true", "d=False", "e=text"])
+        assert overrides == {"a": 1, "b": 2.5, "c": True, "d": False, "e": "text"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["novalue"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "abl-superseed" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_overrides(self, capsys):
+        assert main(["fig3", "instances=10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 instances" in out
+
+    def test_run_fig7(self, capsys):
+        assert main(["fig7", "scale=0.02", "num_pnodes=2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "wall]" in out
+
+    def test_run_tbl_connect(self, capsys):
+        assert main(["tblA", "cycles=50"]) == 0
+        assert "libc" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for the admin-network control plane."""
+
+import pytest
+
+from repro.core.control import (
+    Console,
+    ControlDaemon,
+    cmd_hostname,
+    cmd_spawn_app,
+    cmd_vnode_count,
+)
+from repro.errors import ExperimentError
+from repro.net.addr import IPv4Address
+from repro.virt import Testbed
+
+
+@pytest.fixture
+def console_setup():
+    testbed = Testbed(num_pnodes=4, seed=31)
+    console = Console(testbed)
+    console.start_daemons()
+    return testbed, console
+
+
+class TestControlPlane:
+    def test_execute_on_one_node(self, console_setup):
+        testbed, console = console_setup
+        proc = console.execute(testbed.pnodes[2], cmd_hostname)
+        testbed.sim.run()
+        assert proc.result == "pnode3"
+        assert console.daemons[2].commands_executed == 1
+
+    def test_broadcast_parallel(self, console_setup):
+        testbed, console = console_setup
+        proc = console.broadcast(cmd_hostname)
+        testbed.sim.run()
+        assert proc.result == ["pnode1", "pnode2", "pnode3", "pnode4"]
+
+    def test_parallel_beats_sequential(self, console_setup):
+        """The point of modeling the control plane: orchestration has a
+        cost, and naive sequential deployment pays it linearly."""
+        testbed, console = console_setup
+        sim = testbed.sim
+        finished = {}
+
+        def timed(tag, parallel):
+            t0 = sim.now
+            proc = console.broadcast(cmd_hostname, parallel=parallel)
+            proc.done.wait_callback(lambda _r: finished.setdefault(tag, sim.now - t0))
+            sim.run()
+            return proc
+
+        timed("parallel", True)
+        proc = timed("sequential", False)
+        assert proc.result == ["pnode1", "pnode2", "pnode3", "pnode4"]
+        assert finished["sequential"] > 2 * finished["parallel"]
+
+    def test_remote_app_spawn(self, console_setup):
+        testbed, console = console_setup
+        vnode = testbed.pnodes[0].add_vnode("worker", IPv4Address("10.0.0.1"))
+        testbed.sim.trace.enable("remote.ran")
+        ran = []
+
+        def app(vn):
+            vn.log("remote.ran")
+            ran.append(vn.name)
+            yield 0.0
+
+        proc = console.execute(testbed.pnodes[0], cmd_spawn_app, "worker", app)
+        testbed.sim.run()
+        assert proc.result == "worker"
+        assert ran == ["worker"]
+
+    def test_spawn_on_missing_vnode_fails(self, console_setup):
+        testbed, console = console_setup
+        proc = console.execute(testbed.pnodes[0], cmd_spawn_app, "ghost", lambda v: iter(()))
+        with pytest.raises(ExperimentError):
+            testbed.sim.run()
+
+    def test_vnode_count_command(self, console_setup):
+        testbed, console = console_setup
+        testbed.deploy([IPv4Address("10.0.0.1") + i for i in range(8)])
+        proc = console.broadcast(cmd_vnode_count)
+        testbed.sim.run()
+        assert proc.result == [2, 2, 2, 2]
+
+    def test_control_traffic_is_on_the_wire(self, console_setup):
+        """Commands traverse the emulated admin network (sniffable)."""
+        from repro.net.sniffer import Sniffer
+
+        testbed, console = console_setup
+        sniffer = Sniffer(console.stack, proto="tcp")
+        proc = console.execute(testbed.pnodes[0], cmd_hostname)
+        testbed.sim.run()
+        assert proc.result == "pnode1"
+        kinds = {c.kind for c in sniffer.captured}
+        assert "data" in kinds and "syn" in kinds

@@ -1,0 +1,115 @@
+"""Tests for the core orchestration API (Experiment, launcher, report)."""
+
+import pytest
+
+from repro.core import Experiment, staggered_launch
+from repro.core.report import download_phases, sample_progress, summarize_swarm
+from repro.errors import ExperimentError
+from repro.sim.trace import TraceRecorder
+from repro.topology.presets import uniform_swarm
+
+
+def hello_app(vnode):
+    vnode.log("app.hello", addr=str(vnode.address))
+    yield 1.0
+    vnode.log("app.bye")
+
+
+class TestExperiment:
+    def test_deploy_and_run(self):
+        exp = Experiment(
+            "t", uniform_swarm(4), num_pnodes=2, seed=1,
+            trace_categories=("app.hello", "app.bye"),
+        )
+        vnodes = exp.deploy()
+        assert len(vnodes) == 4
+        for v in vnodes:
+            exp.schedule_app(v, hello_app)
+        exp.run(until=10.0)
+        assert len(list(exp.trace.select("app.hello"))) == 4
+        assert len(list(exp.trace.select("app.bye"))) == 4
+
+    def test_double_deploy_rejected(self):
+        exp = Experiment("t", uniform_swarm(2))
+        exp.deploy()
+        with pytest.raises(ExperimentError):
+            exp.deploy()
+
+    def test_vnodes_requires_deploy(self):
+        with pytest.raises(ExperimentError):
+            Experiment("t", uniform_swarm(2)).vnodes()
+
+    def test_vnodes_by_group(self):
+        exp = Experiment("t", uniform_swarm(3))
+        exp.deploy()
+        assert len(exp.vnodes("peers")) == 3
+        assert len(exp.vnodes()) == 3
+
+    def test_schedule_in_past_rejected(self):
+        exp = Experiment("t", uniform_swarm(1))
+        (v,) = exp.deploy()
+        exp.run(until=5.0)
+        with pytest.raises(ExperimentError):
+            exp.schedule_app(v, hello_app, at=1.0)
+
+    def test_emulation_stats(self):
+        exp = Experiment("t", uniform_swarm(4), num_pnodes=2)
+        exp.deploy()
+        stats = exp.emulation_stats()
+        assert stats["vnodes"] == 4
+        assert stats["rules"] == 8
+        assert stats["pnodes"] == 2
+
+
+class TestLauncher:
+    def test_staggered_start_times(self):
+        exp = Experiment("t", uniform_swarm(3), trace_categories=("app.hello",))
+        vnodes = exp.deploy()
+        staggered_launch(vnodes, hello_app, interval=5.0, start=1.0)
+        exp.run(until=30.0)
+        times = [r.time for r in exp.trace.select("app.hello")]
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_names(self):
+        exp = Experiment("t", uniform_swarm(2))
+        vnodes = exp.deploy()
+        procs = staggered_launch(
+            vnodes, hello_app, interval=1.0, name=lambda v: f"app-{v.name}"
+        )
+        assert procs[0].name == f"app-{vnodes[0].name}"
+
+
+class TestReport:
+    def make_trace(self):
+        tr = TraceRecorder()
+        tr.enable("bt.progress", "bt.complete")
+        for i, node in enumerate(["a", "b", "c"]):
+            t0 = 10.0 * (i + 1)
+            tr.record(t0, "bt.progress", node=node, pct=25.0, payload=1, piece=0)
+            tr.record(t0 + 10, "bt.progress", node=node, pct=50.0, payload=2, piece=1)
+            tr.record(t0 + 30, "bt.progress", node=node, pct=100.0, payload=4, piece=2)
+            tr.record(t0 + 30, "bt.complete", node=node, duration=t0 + 30)
+        return tr
+
+    def test_summarize(self):
+        s = summarize_swarm(self.make_trace())
+        assert s.clients == 3
+        assert s.first_completion == 40.0
+        assert s.last_completion == 60.0
+        assert len(s.as_rows()) == 5
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_swarm(TraceRecorder())
+
+    def test_phases(self):
+        ph = download_phases(self.make_trace(), "a")
+        assert ph["first_piece"] == 10.0
+        assert ph["to_half"] == 10.0
+        assert ph["to_done"] == 20.0
+        assert download_phases(self.make_trace(), "zz") == {}
+
+    def test_sample_progress_by_start_order(self):
+        sampled = sample_progress(self.make_trace(), every=2)
+        # Nodes ordered by first progress time: a, b, c -> every 2nd = b.
+        assert list(sampled) == ["b"]

@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in module docstrings — they are
+the API documentation, so they must stay true."""
+
+import doctest
+
+import pytest
+
+import repro.core.experiment
+import repro.sim.kernel
+import repro.sim.process
+import repro.sim.resources
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.sim.kernel,
+    repro.sim.process,
+    repro.sim.resources,
+    repro.core.experiment,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,211 @@
+"""Edge-case tests across the stack: socket lifecycle, scheduler
+corner cases, and the paper's footnote about start-order bias."""
+
+import statistics
+
+import pytest
+
+from repro.errors import InvalidSocketState, SimulationError
+from repro.hostos import Bsd4Scheduler, Linux26Scheduler, Machine, Task, UleScheduler
+from repro.hostos.workloads import fairness_task
+from repro.net.socket_api import ANY, Socket, raise_if_error
+from repro.net.stack import NetworkStack
+from repro.net.switch import Switch
+from repro.sim import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def lan():
+    sim = Simulator(seed=23)
+    switch = Switch(sim)
+    a = NetworkStack(sim, "a", switch=switch)
+    a.set_admin_address("192.168.38.1")
+    b = NetworkStack(sim, "b", switch=switch)
+    b.set_admin_address("192.168.38.2")
+    return sim, a, b
+
+
+class TestSocketLifecycle:
+    def test_double_close_is_noop(self, lan):
+        sim, a, _ = lan
+        sock = Socket(a)
+        sock.close()
+        sock.close()
+
+    def test_ops_on_closed_socket_rejected(self, lan):
+        sim, a, b = lan
+        sock = Socket(a)
+        sock.close()
+        with pytest.raises(InvalidSocketState):
+            sock.bind((a.iface.primary, 1))
+        with pytest.raises(InvalidSocketState):
+            sock.connect((b.iface.primary, 1))
+
+    def test_double_bind_rejected(self, lan):
+        _, a, _ = lan
+        sock = Socket(a)
+        sock.bind((a.iface.primary, 1234))
+        with pytest.raises(InvalidSocketState):
+            sock.bind((a.iface.primary, 1235))
+
+    def test_connect_twice_rejected(self, lan):
+        sim, a, b = lan
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+        server.listen()
+        outcome = []
+
+        def client():
+            sock = Socket(a)
+            raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+            try:
+                sock.connect((b.iface.primary, 5000))
+            except InvalidSocketState as e:
+                outcome.append(e)
+
+        Process(sim, client())
+        sim.run()
+        assert outcome
+
+    def test_accept_on_connected_socket_rejected(self, lan):
+        sim, a, b = lan
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+        server.listen()
+
+        def client():
+            sock = Socket(a)
+            raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+            with pytest.raises(InvalidSocketState):
+                sock.accept()
+
+        Process(sim, client())
+        sim.run()
+
+    def test_listener_close_wakes_pending_accept(self, lan):
+        sim, a, b = lan
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+        server.listen()
+        got = []
+
+        def acceptor():
+            result = yield server.accept()
+            got.append(result)
+
+        Process(sim, acceptor())
+        sim.schedule(1.0, server.close)
+        sim.run()
+        assert got == [None]
+
+    def test_listen_twice_rejected(self, lan):
+        _, a, _ = lan
+        sock = Socket(a)
+        sock.bind((a.iface.primary, 5000))
+        sock.listen()
+        with pytest.raises(InvalidSocketState):
+            sock.listen()
+
+    def test_ephemeral_ports_recycled_after_close(self, lan):
+        """Graceful close releases the 4-tuple, so ports don't leak."""
+        sim, a, b = lan
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+        done = []
+
+        def server_loop():
+            server.listen()
+            while True:
+                conn = yield server.accept()
+                if conn is None:
+                    return
+                conn.close()
+
+        def client_loop():
+            for _ in range(30):
+                sock = Socket(a)
+                raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+                sock.close()
+                yield 0.5
+            done.append(len(a.tcp.connections))
+
+        Process(sim, server_loop())
+        Process(sim, client_loop())
+        sim.run(until=120.0)
+        # All client-side connections fully torn down.
+        assert done and done[0] <= 1
+
+
+class TestSchedulerEdges:
+    def test_task_arriving_while_machine_idle_starts_immediately(self):
+        sim = Simulator()
+        machine = Machine(sim, UleScheduler(bias_sigma=0.0), ncpus=2)
+        machine.submit(Task("a", work=0.5))
+        sim.run()
+        at = sim.now + 10.0
+        machine.submit(Task("b", work=0.5), at=at)
+        sim.run()
+        rb = [r for r in machine.results if r.name == "b"][0]
+        # Starts at admission (within one context switch), no waiting.
+        assert rb.start_time == pytest.approx(at, abs=1e-3)
+
+    def test_linux_steal_ignores_singleton_queues(self):
+        """Idle balancing must not bounce a lone task between CPUs."""
+        sim = Simulator()
+        sched = Linux26Scheduler()
+        machine = Machine(sim, sched, ncpus=2)
+        machine.submit(Task("only", work=1.0))
+        sim.run()
+        r = machine.results[0]
+        assert r.finish_time == pytest.approx(1.0 + machine.cold_cost, rel=0.01)
+
+    def test_start_order_does_not_bias_fairness(self):
+        """Paper footnote: 'Results don't show a significant bias
+        introduced by the start order.' Submit order must not
+        correlate with completion order under 4BSD."""
+        sim = Simulator(seed=3)
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=2)
+        n = 60
+        for i in range(n):
+            machine.submit(fairness_task(i))
+        sim.run()
+        finishes = {r.name: r.finish_time for r in machine.results}
+        ordered = [finishes[f"fair{i}"] for i in range(n)]
+        first_half = statistics.mean(ordered[: n // 2])
+        second_half = statistics.mean(ordered[n // 2 :])
+        # Early submitters finish (one quantum-round) earlier at most.
+        assert abs(first_half - second_half) < 0.02 * first_half
+
+
+class TestTraceEdges:
+    def test_multiple_listeners(self):
+        tr = TraceRecorder()
+        seen_a, seen_b = [], []
+        tr.subscribe("c", seen_a.append)
+        tr.subscribe("c", seen_b.append)
+        tr.record(1.0, "c", x=1)
+        assert len(seen_a) == len(seen_b) == 1
+
+    def test_record_get_default(self):
+        tr = TraceRecorder()
+        tr.enable("c")
+        tr.record(1.0, "c", x=1)
+        rec = next(tr.select("c"))
+        assert rec.get("missing", 42) == 42
+
+
+class TestSimulatorEdges:
+    def test_schedule_callback_none_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, None)  # type: ignore[arg-type]
+
+    def test_clear_event_queue(self):
+        from repro.sim.event import EventQueue
+
+        q = EventQueue()
+        q.push(1.0, lambda: None, ())
+        q.clear()
+        assert len(q) == 0 and not q

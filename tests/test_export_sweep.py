@@ -1,0 +1,100 @@
+"""Tests for gnuplot export and seed sweeps."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.export import (
+    export_figure,
+    write_dat,
+    write_gnuplot_script,
+    write_multi_dat,
+)
+from repro.bittorrent.swarm import SwarmConfig
+from repro.experiments.sweep import (
+    SweepResult,
+    median_download_metric,
+    sweep_swarm,
+)
+from repro.units import MB
+
+
+class TestExport:
+    def test_write_dat(self, tmp_path):
+        p = write_dat(tmp_path / "s.dat", [(0.0, 1.0), (2.5, 3.5)], header="demo")
+        text = p.read_text()
+        assert text.startswith("# demo\n")
+        assert "2.500000 3.500000" in text
+
+    def test_write_multi_dat(self, tmp_path):
+        p = write_multi_dat(
+            tmp_path / "m.dat",
+            xs=[1.0, 2.0],
+            columns={"a": [10.0, 20.0], "b": [1.0, 2.0]},
+        )
+        lines = p.read_text().splitlines()
+        assert lines[0] == "# x a b"
+        assert lines[2] == "2.000000 20.000000 2.000000"
+
+    def test_multi_dat_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_multi_dat(tmp_path / "m.dat", xs=[1.0], columns={"a": [1.0, 2.0]})
+
+    def test_gnuplot_script(self, tmp_path):
+        dat = write_dat(tmp_path / "curve.dat", [(0, 0)])
+        gp = write_gnuplot_script(
+            tmp_path / "fig.gp",
+            {"my curve": dat},
+            title="T",
+            xlabel="x",
+            ylabel="y",
+        )
+        text = gp.read_text()
+        assert "plot 'curve.dat'" in text
+        assert "set title 'T'" in text
+
+    def test_export_figure_bundle(self, tmp_path):
+        gp = export_figure(
+            tmp_path / "figs",
+            "fig11",
+            {"completions": [(0.0, 0.0), (10.0, 5.0)]},
+            title="Figure 11",
+            xlabel="time (s)",
+            ylabel="clients",
+        )
+        assert gp.exists()
+        assert (tmp_path / "figs" / "fig11_completions.dat").exists()
+        assert "fig11.png" in gp.read_text()
+
+
+class TestSweep:
+    def test_sweep_statistics(self):
+        r = SweepResult("m", seeds=(1, 2, 3), values=(10.0, 12.0, 11.0))
+        assert r.mean == pytest.approx(11.0)
+        assert r.spread == pytest.approx(2.0 / 11.0)
+        assert r.stdev > 0
+        assert r.within_envelope(11.5)
+        assert not r.within_envelope(50.0)
+
+    def test_single_value_stdev_zero(self):
+        r = SweepResult("m", seeds=(1,), values=(10.0,))
+        assert r.stdev == 0.0
+
+    def test_swarm_sweep_runs(self):
+        config = SwarmConfig(
+            leechers=5, seeders=1, file_size=1 * MB, stagger=1.0, num_pnodes=2
+        )
+        result = sweep_swarm(config, seeds=(1, 2))
+        assert len(result.values) == 2
+        assert result.values[0] != result.values[1]  # chaos is real
+        assert all(v > 0 for v in result.values)
+
+    def test_custom_metric(self):
+        config = SwarmConfig(
+            leechers=4, seeders=1, file_size=1 * MB, stagger=1.0, num_pnodes=2
+        )
+        result = sweep_swarm(
+            config, seeds=(3,), metric=median_download_metric, metric_name="median"
+        )
+        assert result.metric == "median"
+        assert result.values[0] > 0

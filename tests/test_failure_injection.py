@@ -1,0 +1,94 @@
+"""Failure-injection tests: corrupt pieces and selfish departure."""
+
+import pytest
+
+from repro.bittorrent import Swarm, SwarmConfig
+from repro.bittorrent.client import ClientConfig
+from repro.units import KB, MB
+
+
+class TestCorruption:
+    def test_corrupt_pieces_are_redownloaded(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=4, seeders=1, file_size=1 * MB, stagger=1.0,
+            num_pnodes=2, seed=14,
+            client=ClientConfig(corruption_rate=0.1),
+        ))
+        swarm.run(max_time=50000)
+        assert all(c.complete for c in swarm.leechers)
+        total_corrupt = sum(c.corrupt_pieces for c in swarm.leechers)
+        assert total_corrupt > 0  # 16 pieces x 4 clients at 10%: ~6 expected
+        # Corrupted pieces cost extra wire bytes beyond the payload.
+        for c in swarm.leechers:
+            assert c.payload_received == 1 * MB
+            if c.corrupt_pieces:
+                assert c.bytes_downloaded > 1 * MB
+
+    def test_corruption_events_logged(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=3, seeders=1, file_size=1 * MB, stagger=0.5,
+            num_pnodes=1, seed=15,
+            client=ClientConfig(corruption_rate=0.2),
+        ))
+        swarm.sim.trace.enable("bt.corrupt")
+        swarm.run(max_time=50000)
+        corrupt_records = list(swarm.sim.trace.select("bt.corrupt"))
+        assert len(corrupt_records) == sum(c.corrupt_pieces for c in swarm.leechers)
+
+    def test_zero_rate_never_corrupts(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=3, seeders=1, file_size=512 * KB, stagger=0.5,
+            num_pnodes=1, seed=15,
+        ))
+        swarm.run(max_time=20000)
+        assert sum(c.corrupt_pieces for c in swarm.leechers) == 0
+
+    def test_discard_piece_restores_picker_state(self):
+        """Unit-level: a discarded piece becomes fully requestable."""
+        from repro.bittorrent.bitfield import Bitfield
+        from repro.bittorrent.metainfo import Torrent
+        from repro.bittorrent.piece_picker import PiecePicker
+        from repro.sim.rng import RngRegistry
+
+        t = Torrent("t", total_size=400, piece_length=200, block_size=100)
+        have = Bitfield(2)
+        picker = PiecePicker(t, have, RngRegistry(1).stream("p"))
+        peer = Bitfield(2, full=True)
+        got = []
+        while True:
+            req = picker.next_request(peer)
+            if req is None:
+                break
+            got.append(req)
+            picker.on_block(*req)
+        assert have.complete
+        picker.discard_piece(0)
+        assert not have.complete
+        assert picker.next_request(peer) == (0, 0)
+
+
+class TestDeparture:
+    def test_leavers_disconnect_and_unregister(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=4, seeders=1, file_size=512 * KB, stagger=1.0,
+            num_pnodes=2, seed=16,
+            client=ClientConfig(seed_after_complete=False),
+        ))
+        swarm.run(max_time=50000)
+        swarm.sim.run(until=swarm.sim.now + 120)  # let departures settle
+        for c in swarm.leechers:
+            assert c.complete
+            assert c.stopped
+            assert c.peer_count == 0
+        # Tracker saw the 'stopped' announces: only the seeder remains.
+        assert swarm.tracker.swarm_size(swarm.torrent.infohash) == 1
+
+    def test_swarm_still_finishes_thanks_to_initial_seeder(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=5, seeders=1, file_size=512 * KB, stagger=10.0,
+            num_pnodes=2, seed=18,
+            client=ClientConfig(seed_after_complete=False),
+        ))
+        last = swarm.run(max_time=100000)
+        assert all(c.complete for c in swarm.leechers)
+        assert last > 0

@@ -1,0 +1,48 @@
+"""Unit tests for the Figure 10/11 result metrics (pure math)."""
+
+import pytest
+
+from repro.experiments.fig10_scalability import Fig10Result
+
+
+def make_result(times):
+    completion = [(t, float(i + 1)) for i, t in enumerate(sorted(times))]
+    return Fig10Result(
+        clients=len(times),
+        pnodes=1,
+        vnodes_per_pnode=len(times),
+        selected_progress={},
+        completion=completion,
+        first_completion=min(times),
+        last_completion=max(times),
+        median_completion=sorted(times)[len(times) // 2],
+    )
+
+
+class TestBulkWindow:
+    def test_uniform_spread(self):
+        # 11 completions at 0,10,...,100: p10 at index 1, p90 at index 9.
+        result = make_result([10.0 * i for i in range(11)])
+        assert result.bulk_window == pytest.approx(80.0)
+        assert result.ramp_steepness == pytest.approx(1 - 80.0 / 100.0)
+
+    def test_steep_ramp(self):
+        # Everyone finishes within 5s of t=1000 after a 1000s run.
+        times = [1000.0 + 0.5 * i for i in range(10)]
+        result = make_result(times)
+        assert result.bulk_window < 5.0
+        assert result.ramp_steepness > 0.99
+
+    def test_single_client(self):
+        result = make_result([42.0])
+        assert result.bulk_window == 0.0
+        assert result.ramp_steepness == 1.0
+
+    def test_empty_completion(self):
+        result = Fig10Result(
+            clients=0, pnodes=1, vnodes_per_pnode=0, selected_progress={},
+            completion=[], first_completion=0.0, last_completion=0.0,
+            median_completion=0.0,
+        )
+        assert result.bulk_window == 0.0
+        assert result.ramp_steepness == 0.0

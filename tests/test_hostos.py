@@ -1,0 +1,243 @@
+"""Tests for the host-OS model: machine, schedulers, memory."""
+
+import statistics
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hostos import (
+    Bsd4Scheduler,
+    Linux26Scheduler,
+    Machine,
+    MemoryModel,
+    POLICY_GRACEFUL,
+    POLICY_THRASH,
+    Task,
+    UleScheduler,
+    ackermann_task,
+    matrix_task,
+)
+from repro.hostos.workloads import fairness_task
+from repro.sim import Simulator
+
+
+def run_batch(scheduler, n_tasks, task_factory, ncpus=2, memory=None, seed=1, **mkw):
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, scheduler, ncpus=ncpus, memory=memory, **mkw)
+    for i in range(n_tasks):
+        machine.submit(task_factory(i))
+    sim.run()
+    assert machine.all_done
+    return machine
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            Task("t", work=0)
+        with pytest.raises(SchedulerError):
+            Task("t", work=1, memory_mb=-1)
+
+    def test_result_requires_finish(self):
+        from repro.hostos.task import TaskResult
+
+        with pytest.raises(SchedulerError):
+            TaskResult.from_task(Task("t", work=1))
+
+
+class TestMemoryModel:
+    def test_no_slowdown_below_ram(self):
+        m = MemoryModel(ram_mb=2048, policy=POLICY_THRASH)
+        assert m.slowdown(1000) == 1.0
+        assert not m.swapping(2048)
+
+    def test_thrash_grows_linearly(self):
+        m = MemoryModel(ram_mb=1000, policy=POLICY_THRASH, thrash_factor=4.0)
+        assert m.slowdown(2000) == pytest.approx(5.0)
+        assert m.slowdown(3000) == pytest.approx(9.0)
+        assert m.swapping(1001)
+
+    def test_graceful_stays_near_one(self):
+        m = MemoryModel(ram_mb=1000, policy=POLICY_GRACEFUL)
+        assert m.slowdown(3000) < 1.1
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            MemoryModel(ram_mb=0)
+        with pytest.raises(SchedulerError):
+            MemoryModel(policy="magic")
+
+
+class TestMachineBasics:
+    def test_single_task_runs_to_completion(self):
+        machine = run_batch(Bsd4Scheduler(), 1, lambda i: Task(f"t{i}", work=1.0))
+        r = machine.results[0]
+        # Service = work + cold penalty; wall also includes ctx switches.
+        assert r.execution_time == pytest.approx(1.0 + machine.cold_cost, rel=1e-6)
+
+    def test_two_tasks_two_cpus_run_in_parallel(self):
+        machine = run_batch(Bsd4Scheduler(), 2, lambda i: Task(f"t{i}", work=1.0))
+        finishes = [r.finish_time for r in machine.results]
+        assert max(finishes) < 1.5  # not serialized (2.0+)
+
+    def test_oversubscription_timeshares(self):
+        machine = run_batch(Bsd4Scheduler(), 4, lambda i: Task(f"t{i}", work=1.0))
+        # 4 x 1s on 2 CPUs -> ~2s wall for the batch.
+        assert max(r.finish_time for r in machine.results) == pytest.approx(2.0, rel=0.1)
+
+    def test_work_conserving(self):
+        machine = run_batch(Bsd4Scheduler(), 10, lambda i: Task(f"t{i}", work=0.5))
+        total_work = sum(r.execution_time for r in machine.results)
+        window = machine.utilization_window()
+        # 2 CPUs fully busy: window ~ total/2.
+        assert window == pytest.approx(total_work / 2, rel=0.05)
+
+    def test_preemptions_counted(self):
+        machine = run_batch(Bsd4Scheduler(quantum=0.1), 4, lambda i: Task(f"t{i}", work=1.0))
+        assert all(r.preemptions >= 4 for r in machine.results)
+
+    def test_ncpus_validated(self):
+        with pytest.raises(SchedulerError):
+            Machine(Simulator(), Bsd4Scheduler(), ncpus=0)
+
+    def test_staggered_submission(self):
+        sim = Simulator()
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=1)
+        machine.submit(Task("a", work=0.5), at=0.0)
+        machine.submit(Task("b", work=0.5), at=5.0)
+        sim.run()
+        rb = [r for r in machine.results if r.name == "b"][0]
+        assert rb.start_time >= 5.0
+
+    def test_cold_penalty_amortizes(self):
+        """Instance k pays cold_cost/k: the Figure 1 mechanism."""
+        machine = run_batch(Bsd4Scheduler(), 3, lambda i: Task(f"t{i}", work=1.0))
+        by_name = {r.name: r for r in machine.results}
+        c = machine.cold_cost
+        assert by_name["t0"].execution_time == pytest.approx(1.0 + c)
+        assert by_name["t1"].execution_time == pytest.approx(1.0 + c / 2)
+        assert by_name["t2"].execution_time == pytest.approx(1.0 + c / 3)
+
+
+class TestMemoryPressure:
+    def test_thrashing_inflates_execution_time(self):
+        mem = MemoryModel(ram_mb=500, policy=POLICY_THRASH)
+        machine = run_batch(
+            Bsd4Scheduler(), 10, lambda i: matrix_task(i, memory_mb=100), memory=mem
+        )
+        assert machine.swap_used
+        mean_exec = statistics.mean(r.execution_time for r in machine.results)
+        assert mean_exec > 1.5 * 1.2  # well above the solo 1.2 s
+
+    def test_graceful_policy_stays_flat(self):
+        mem = MemoryModel(ram_mb=500, policy=POLICY_GRACEFUL)
+        machine = run_batch(
+            Bsd4Scheduler(), 10, lambda i: matrix_task(i, memory_mb=100), memory=mem
+        )
+        mean_exec = statistics.mean(r.execution_time for r in machine.results)
+        assert mean_exec < 1.15 * 1.2
+
+    def test_below_ram_no_inflation(self):
+        mem = MemoryModel(ram_mb=2048, policy=POLICY_THRASH)
+        machine = run_batch(
+            Bsd4Scheduler(), 5, lambda i: matrix_task(i, memory_mb=100), memory=mem
+        )
+        assert not machine.swap_used
+        mean_exec = statistics.mean(r.execution_time for r in machine.results)
+        assert mean_exec == pytest.approx(1.2, rel=0.05)
+
+    def test_demand_drops_as_tasks_finish(self):
+        mem = MemoryModel(ram_mb=10_000)
+        machine = run_batch(
+            Bsd4Scheduler(), 4, lambda i: matrix_task(i), memory=mem
+        )
+        assert machine.demand_mb == 0.0
+
+
+class TestSchedulerStructure:
+    def test_linux_array_swap(self):
+        """O(1): every runnable task gets one slice per epoch."""
+        sched = Linux26Scheduler(quantum=0.1)
+        machine = run_batch(sched, 6, lambda i: Task(f"t{i}", work=0.35), ncpus=2)
+        # All finish: 6 x .35 /2 cpus ~ 1.05s.
+        assert max(r.finish_time for r in machine.results) == pytest.approx(1.1, rel=0.15)
+
+    def test_linux_idle_steal_balances(self):
+        """A CPU whose queue drains steals instead of idling."""
+        sched = Linux26Scheduler()
+        machine = run_batch(sched, 9, lambda i: Task(f"t{i}", work=0.3), ncpus=2)
+        window = machine.utilization_window()
+        total = sum(r.execution_time for r in machine.results)
+        assert window == pytest.approx(total / 2, rel=0.1)
+
+    def test_ule_no_idle_steal(self):
+        """With the balancer off, an idle ULE CPU stays idle."""
+        sched = UleScheduler(balance_interval=0.0, bias_sigma=0.0)
+        sim = Simulator(seed=2)
+        machine = Machine(sim, sched, ncpus=2)
+        # Force both tasks onto CPU 0 via affinity.
+        t1, t2 = Task("a", work=1.0), Task("b", work=1.0)
+        t1.cpu_affinity = 0
+        t2.cpu_affinity = 0
+        machine.submit(t1)
+        machine.submit(t2)
+        sim.run()
+        # Serialized on one CPU: last finish ~2s, not ~1s.
+        assert max(r.finish_time for r in machine.results) > 1.8
+
+    def test_ule_balancer_rescues_idle_cpu(self):
+        sched = UleScheduler(balance_interval=0.5, bias_sigma=0.0)
+        sim = Simulator(seed=2)
+        machine = Machine(sim, sched, ncpus=2)
+        for i in range(6):
+            t = Task(f"t{i}", work=1.0)
+            t.cpu_affinity = 0  # all placed on CPU 0
+            machine.submit(t)
+        sim.run()
+        # The balancer migrates work; the batch beats full serialization (6s).
+        assert max(r.finish_time for r in machine.results) < 5.0
+
+    def test_ule_bias_is_persistent_and_seeded(self):
+        sched = UleScheduler(bias_sigma=0.3)
+        sim = Simulator(seed=9)
+        Machine(sim, sched)
+        t = Task("x", work=1.0)
+        s1 = sched.slice_for(t)
+        s2 = sched.slice_for(t)
+        assert s1 == s2  # persistent per task
+
+    def test_queue_lengths_reporting(self):
+        for sched in (Bsd4Scheduler(), UleScheduler(), Linux26Scheduler()):
+            sim = Simulator(seed=3)
+            machine = Machine(sim, sched)
+            assert isinstance(sched.queue_lengths(), list)
+
+
+class TestFairnessShapes:
+    """Figure 3's qualitative result: 4BSD and Linux steep, ULE spread."""
+
+    @staticmethod
+    def spread(machine):
+        finishes = [r.finish_time for r in machine.results]
+        return (max(finishes) - min(finishes)) / statistics.mean(finishes)
+
+    def test_ule_spread_wider_than_bsd_and_linux(self):
+        n = 40
+        bsd = run_batch(Bsd4Scheduler(), n, lambda i: fairness_task(i), seed=7)
+        linux = run_batch(Linux26Scheduler(), n, lambda i: fairness_task(i), seed=7)
+        ule = run_batch(UleScheduler(), n, lambda i: fairness_task(i), seed=7)
+        assert self.spread(ule) > 2 * self.spread(bsd)
+        assert self.spread(ule) > 2 * self.spread(linux)
+
+    def test_bsd_finishes_cluster_around_mean(self):
+        n = 40
+        machine = run_batch(Bsd4Scheduler(), n, lambda i: fairness_task(i))
+        finishes = [r.finish_time for r in machine.results]
+        mean = statistics.mean(finishes)
+        # 40 x 5s on 2 cpus ~ 100s; all within a few percent.
+        assert mean == pytest.approx(100.0, rel=0.05)
+        assert self.spread(machine) < 0.05
+
+    def test_ackermann_solo_time_calibration(self):
+        machine = run_batch(Bsd4Scheduler(), 1, lambda i: ackermann_task(i))
+        assert machine.results[0].execution_time == pytest.approx(1.69, abs=0.01)

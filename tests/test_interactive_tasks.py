@@ -1,0 +1,113 @@
+"""Interactive (burst/sleep) tasks and ULE's interactivity scoring."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hostos import Bsd4Scheduler, Machine, Task, UleScheduler
+from repro.sim import Simulator
+
+
+def run(machine, sim):
+    sim.run()
+    assert machine.all_done
+    return {r.name: r for r in machine.results}
+
+
+class TestBurstSleepTasks:
+    def test_solo_interactive_task_timeline(self):
+        """1s of work in 0.25s bursts with 0.5s sleeps: wall time is
+        work + 3 sleeps (no sleep after the final burst)."""
+        sim = Simulator()
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=1, cold_cost=0.0)
+        machine.submit(Task("i", work=1.0, burst=0.25, sleep=0.5))
+        results = run(machine, sim)
+        r = results["i"]
+        assert r.execution_time == pytest.approx(1.0, rel=1e-6)
+        assert r.turnaround == pytest.approx(1.0 + 3 * 0.5, rel=0.01)
+
+    def test_interactive_ratio_accumulates(self):
+        sim = Simulator()
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=1, cold_cost=0.0)
+        task = Task("i", work=0.5, burst=0.1, sleep=0.4)
+        machine.submit(task)
+        sim.run()
+        # 0.5s running, 4 sleeps x 0.4s = 1.6s sleeping... but the last
+        # burst finishes the task; sleeps happen after bursts 1-4.
+        assert task.interactive_ratio > 0.5
+        assert task.wakeups == 4
+
+    def test_cpu_freed_during_sleep(self):
+        """While the interactive task sleeps, a batch task gets the CPU."""
+        sim = Simulator()
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=1, cold_cost=0.0)
+        machine.submit(Task("inter", work=0.5, burst=0.1, sleep=1.0))
+        machine.submit(Task("batch", work=2.0))
+        results = run(machine, sim)
+        # Serialized they'd take 2.5s + sleeps; overlap means the batch
+        # task finishes close to its own 2s of work plus small sharing.
+        assert results["batch"].finish_time < 3.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            Task("t", work=1.0, burst=0.0)
+        with pytest.raises(SchedulerError):
+            Task("t", work=1.0, burst=0.1, sleep=-1.0)
+
+    def test_pure_hog_has_zero_ratio(self):
+        sim = Simulator()
+        machine = Machine(sim, Bsd4Scheduler(), ncpus=1)
+        task = Task("hog", work=1.0)
+        machine.submit(task)
+        sim.run()
+        assert task.interactive_ratio == 0.0
+        assert task.wakeups == 0
+
+
+class TestUleInteractivityScoring:
+    def _latency_of_interactive(self, scheduler):
+        """Mean wake-to-finish latency of an interactive task competing
+        with CPU hogs."""
+        sim = Simulator(seed=11)
+        machine = Machine(sim, scheduler, ncpus=1, cold_cost=0.0)
+        inter = Task("inter", work=0.5, burst=0.05, sleep=0.5)
+        machine.submit(inter)
+        for i in range(4):
+            machine.submit(Task(f"hog{i}", work=5.0))
+        sim.run()
+        r = [x for x in machine.results if x.name == "inter"][0]
+        return r.turnaround
+
+    def test_scoring_cuts_interactive_latency(self):
+        """With scoring on, the interactive task jumps its queue and
+        finishes at the no-contention ideal (work + sleeps = 5.0 s);
+        plain round-robin ULE makes it wait behind the hogs."""
+        ideal = 0.5 + 9 * 0.5  # ten 0.05s bursts, nine 0.5s sleeps
+        plain = self._latency_of_interactive(
+            UleScheduler(bias_sigma=0.0, interactivity_scoring=False)
+        )
+        scored = self._latency_of_interactive(
+            UleScheduler(bias_sigma=0.0, interactivity_scoring=True)
+        )
+        assert scored == pytest.approx(ideal, rel=0.05)
+        assert plain > 1.3 * ideal
+
+    def test_scoring_off_is_default(self):
+        sched = UleScheduler()
+        assert not sched.interactivity_scoring
+
+    def test_hogs_unaffected_by_scoring_flag(self):
+        """For the paper's pure-CPU workloads the flag changes nothing."""
+
+        def finish_times(flag):
+            sim = Simulator(seed=4)
+            machine = Machine(
+                sim,
+                UleScheduler(bias_sigma=0.0, interactivity_scoring=flag),
+                ncpus=2,
+            )
+            for i in range(10):
+                machine.submit(Task(f"t{i}", work=1.0))
+            sim.run()
+            return sorted(r.finish_time for r in machine.results)
+
+        assert finish_times(False) == finish_times(True)

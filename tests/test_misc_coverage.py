@@ -1,0 +1,99 @@
+"""Assorted coverage: UDP endpoint lifecycle, libc datagram wrappers,
+monitor single-sample summaries, table formatting corners."""
+
+import pytest
+
+from repro.analysis.tables import _fmt
+from repro.core.monitor import ResourceMonitor
+from repro.errors import AddressInUse
+from repro.net.addr import IPv4Address
+from repro.net.socket_api import Socket
+from repro.virt import Testbed
+
+
+class TestUdpLifecycle:
+    def setup_method(self):
+        self.testbed = Testbed(num_pnodes=2, seed=44)
+        self.a, self.b = self.testbed.deploy(
+            [IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")]
+        )
+
+    def test_libc_udp_wrappers_count_syscalls(self):
+        sim = self.testbed.sim
+        got = []
+
+        def server(vn):
+            sock = yield from vn.libc.socket(type=Socket.UDP)
+            yield from vn.libc.bind(sock, (vn.address, 9000))
+            item = yield from vn.libc.recvfrom(sock)
+            got.append(item[0])
+
+        def client(vn):
+            before = vn.libc.syscalls
+            sock = yield from vn.libc.socket(type=Socket.UDP)
+            yield from vn.libc.bind(sock, (vn.address, 0))
+            yield from vn.libc.sendto(sock, "hi", 2, ("10.0.0.2", 9000))
+            got.append(vn.libc.syscalls - before)
+
+        self.b.spawn(server)
+        self.a.spawn(client, start_delay=0.01)
+        sim.run()
+        assert got == [3, "hi"]  # socket+bind+sendto, then delivery
+
+    def test_udp_double_bind_rejected(self):
+        sock1 = Socket(self.a.pnode.stack, type=Socket.UDP)
+        sock1.bind((self.a.address, 5353))
+        sock2 = Socket(self.a.pnode.stack, type=Socket.UDP)
+        with pytest.raises(AddressInUse):
+            sock2.bind((self.a.address, 5353))
+
+    def test_udp_close_releases_port(self):
+        sock1 = Socket(self.a.pnode.stack, type=Socket.UDP)
+        sock1.bind((self.a.address, 5353))
+        sock1.close()
+        sock2 = Socket(self.a.pnode.stack, type=Socket.UDP)
+        sock2.bind((self.a.address, 5353))  # no AddressInUse
+
+    def test_udp_closed_endpoint_drops_datagrams(self):
+        sim = self.testbed.sim
+        server = Socket(self.b.pnode.stack, type=Socket.UDP)
+        server.bind((self.b.address, 9000))
+        server.close()
+        client = Socket(self.a.pnode.stack, type=Socket.UDP)
+        client.bind((self.a.address, 0))
+        client.sendto("void", 4, ("10.0.0.2", 9000))
+        sim.run()  # silently dropped
+
+
+class TestMonitorEdges:
+    def test_single_sample_summary_has_zero_rates(self):
+        testbed = Testbed(num_pnodes=1, seed=45)
+        monitor = ResourceMonitor(testbed, period=1000.0)
+        monitor.start()
+        testbed.sim.run(until=1.0)
+        monitor.stop()
+        (summary,) = monitor.summarize()
+        assert summary.peak_tx_rate == 0.0
+        assert summary.peak_rx_rate == 0.0
+
+    def test_empty_monitor_summarizes_to_nothing(self):
+        testbed = Testbed(num_pnodes=1, seed=45)
+        monitor = ResourceMonitor(testbed)
+        assert monitor.summarize() == []
+        assert monitor.saturated_nodes(1e9) == []
+
+
+class TestTableFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0"),
+            (1234.5, "1234"),
+            (12.345, "12.35"),
+            (0.0123, "0.0123"),
+            ("text", "text"),
+            (7, "7"),
+        ],
+    )
+    def test_fmt(self, value, expected):
+        assert _fmt(value) == expected

@@ -1,0 +1,140 @@
+"""Tests for IPv4 address/network types."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net.addr import IPv4Address, IPv4Network, ip, network
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        a = IPv4Address("10.1.3.207")
+        assert str(a) == "10.1.3.207"
+        assert int(a) == (10 << 24) | (1 << 16) | (3 << 8) | 207
+
+    def test_from_int(self):
+        assert str(IPv4Address(0xC0A82601)) == "192.168.38.1"
+
+    def test_copy_constructor(self):
+        a = IPv4Address("10.0.0.1")
+        assert IPv4Address(a) == a
+
+    def test_equality_with_str_and_int(self):
+        a = IPv4Address("10.0.0.1")
+        assert a == "10.0.0.1"
+        assert a == IPv4Address("10.0.0.1")
+        assert a == int(a)
+        assert a != "10.0.0.2"
+
+    def test_ordering_and_hash(self):
+        a, b = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+        assert a < b
+        assert len({a, IPv4Address("10.0.0.1")}) == 1
+
+    def test_add_offset(self):
+        assert IPv4Address("10.0.0.1") + 9 == "10.0.0.10"
+        assert IPv4Address("10.0.0.255") + 1 == "10.0.1.0"
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.0", "10.0.0.256", "a.b.c.d", "10..0.1", "10.0.0.1.2", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(2**32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+
+class TestIPv4Network:
+    def test_parse(self):
+        n = IPv4Network("10.1.3.0/24")
+        assert str(n) == "10.1.3.0/24"
+        assert n.prefixlen == 24
+        assert n.num_addresses == 256
+
+    def test_contains(self):
+        n = IPv4Network("10.1.0.0/16")
+        assert "10.1.3.207" in n
+        assert IPv4Address("10.1.255.255") in n
+        assert "10.2.0.1" not in n
+
+    def test_contains_value(self):
+        n = IPv4Network("10.0.0.0/8")
+        assert n.contains_value(IPv4Address("10.9.9.9").value)
+        assert not n.contains_value(IPv4Address("11.0.0.0").value)
+
+    def test_host_bits_set_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.1.3.5/24")
+
+    def test_host_indexing(self):
+        n = IPv4Network("10.1.3.0/24")
+        assert n.host(1) == "10.1.3.1"
+        assert n.host(207) == "10.1.3.207"
+        with pytest.raises(AddressError):
+            n.host(256)
+
+    def test_hosts_iteration(self):
+        n = IPv4Network("10.0.0.0/30")
+        assert [str(h) for h in n.hosts()] == ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+
+    def test_subnets(self):
+        n = IPv4Network("10.1.0.0/16")
+        subs = list(n.subnets(24))
+        assert len(subs) == 256
+        assert str(subs[0]) == "10.1.0.0/24"
+        assert str(subs[3]) == "10.1.3.0/24"
+
+    def test_subnets_bad_prefix(self):
+        with pytest.raises(AddressError):
+            list(IPv4Network("10.1.0.0/16").subnets(8))
+
+    def test_overlaps(self):
+        big = IPv4Network("10.0.0.0/8")
+        small = IPv4Network("10.1.3.0/24")
+        other = IPv4Network("192.168.0.0/16")
+        assert big.overlaps(small)
+        assert small.overlaps(big)
+        assert not big.overlaps(other)
+
+    def test_zero_prefix(self):
+        n = IPv4Network("0.0.0.0/0")
+        assert "1.2.3.4" in n
+
+    def test_slash32(self):
+        n = IPv4Network("10.0.0.1/32")
+        assert "10.0.0.1" in n
+        assert "10.0.0.2" not in n
+
+    def test_needs_prefix(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0")
+
+    def test_bad_prefixlen(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0/x")
+
+    def test_equality_hash(self):
+        assert IPv4Network("10.0.0.0/8") == IPv4Network("10.0.0.0/8")
+        assert len({IPv4Network("10.0.0.0/8"), IPv4Network("10.0.0.0/8")}) == 1
+
+    def test_tuple_constructor(self):
+        assert IPv4Network(("10.1.0.0", 16)) == IPv4Network("10.1.0.0/16")
+
+
+class TestHelpers:
+    def test_ip_passthrough(self):
+        a = IPv4Address("10.0.0.1")
+        assert ip(a) is a
+        assert ip("10.0.0.1") == a
+
+    def test_network_passthrough(self):
+        n = IPv4Network("10.0.0.0/8")
+        assert network(n) is n
+        assert network("10.0.0.0/8") == n

@@ -1,0 +1,240 @@
+"""Tests for the sniffer, explicit-ACK TCP mode and indexed firewall."""
+
+import pytest
+
+from repro.net.addr import IPv4Address, IPv4Network
+from repro.net.ipfw import ACTION_COUNT, ACTION_DENY, ACTION_PIPE, DIR_OUT
+from repro.net.ipfw_indexed import IndexedFirewall
+from repro.net.packet import Packet
+from repro.net.pipe import DummynetPipe
+from repro.net.sniffer import Sniffer
+from repro.net.socket_api import Socket, raise_if_error
+from repro.net.stack import NetworkStack
+from repro.net.switch import Switch
+from repro.sim import Simulator
+from repro.sim.process import Process
+from repro.units import kbps
+
+
+def make_lan(sim, tcp_explicit_acks=False):
+    switch = Switch(sim)
+    a = NetworkStack(sim, "a", switch=switch, tcp_explicit_acks=tcp_explicit_acks)
+    a.set_admin_address("192.168.38.1")
+    b = NetworkStack(sim, "b", switch=switch, tcp_explicit_acks=tcp_explicit_acks)
+    b.set_admin_address("192.168.38.2")
+    return a, b
+
+
+class TestSniffer:
+    def _ping(self, sim, a, b, count=2):
+        from repro.net.ping import ping
+
+        p = ping(sim, a, a.iface.primary, b.iface.primary, count=count, interval=0.1)
+        sim.run()
+        return p
+
+    def test_captures_both_directions(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a)
+        self._ping(sim, a, b)
+        outs = [c for c in sniffer.captured if c.direction == "out"]
+        ins = [c for c in sniffer.captured if c.direction == "in"]
+        assert len(outs) == 2 and len(ins) == 2
+        assert all(c.proto == "icmp" for c in sniffer.captured)
+
+    def test_proto_filter(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a, proto="tcp")
+        self._ping(sim, a, b)
+        assert len(sniffer) == 0
+        assert sniffer.dropped_by_filter == 4
+
+    def test_host_filter(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a, host="192.168.38.2")
+        self._ping(sim, a, b, count=1)
+        assert len(sniffer) == 2
+
+    def test_max_packets(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a, max_packets=1)
+        self._ping(sim, a, b, count=3)
+        assert len(sniffer) == 1
+
+    def test_stop_removes_tap(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a)
+        self._ping(sim, a, b, count=1)
+        seen = len(sniffer)
+        sniffer.stop()
+        self._ping(sim, a, b, count=1)
+        assert len(sniffer) == seen
+
+    def test_dump_and_total_bytes(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(a)
+        self._ping(sim, a, b, count=1)
+        text = sniffer.dump()
+        assert "icmp/echo" in text
+        assert sniffer.total_bytes("out") == 92  # 64B payload + 28B header
+
+    def test_port_filter_on_tcp(self):
+        sim = Simulator()
+        a, b = make_lan(sim)
+        sniffer = Sniffer(b, proto="tcp", port=5000)
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+
+        def srv():
+            server.listen()
+            conn = yield server.accept()
+            yield conn.recv()
+
+        def cli():
+            sock = Socket(a)
+            raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+            yield sock.send(b"x", 100)
+            sock.close()
+
+        Process(sim, srv())
+        Process(sim, cli())
+        sim.run()
+        assert len(sniffer) > 0
+        assert all(c.sport == 5000 or c.dport == 5000 for c in sniffer.captured)
+
+
+class TestExplicitAcks:
+    def _transfer(self, explicit):
+        sim = Simulator(seed=2)
+        a, b = make_lan(sim, tcp_explicit_acks=explicit)
+        sniffer = Sniffer(b, proto="tcp")
+        done = []
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+
+        def srv():
+            server.listen()
+            conn = yield server.accept()
+            total = 0
+            while total < 50_000:
+                item = yield conn.recv()
+                total += item[1]
+            done.append(sim.now)
+
+        def cli():
+            sock = Socket(a)
+            raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+            for _ in range(5):
+                yield sock.send(b"x", 10_000)
+
+        Process(sim, srv())
+        Process(sim, cli())
+        sim.run()
+        return done[0], sniffer
+
+    def test_ack_packets_on_wire_only_in_explicit_mode(self):
+        _, sniffer_default = self._transfer(explicit=False)
+        _, sniffer_acks = self._transfer(explicit=True)
+        kinds_default = {c.kind for c in sniffer_default.captured}
+        kinds_acks = {c.kind for c in sniffer_acks.captured}
+        assert "ack" not in kinds_default
+        assert "ack" in kinds_acks
+        acks = [c for c in sniffer_acks.captured if c.kind == "ack"]
+        assert len(acks) == 5  # one per data segment
+        assert all(c.size == 40 for c in acks)
+
+    def test_transfer_times_close(self):
+        t_default, _ = self._transfer(explicit=False)
+        t_acks, _ = self._transfer(explicit=True)
+        assert t_acks == pytest.approx(t_default, rel=0.05)
+
+    def test_windowed_sender_paced_by_acks(self):
+        """With explicit ACKs over a slow *reverse* path, the window
+        opens one reverse-RTT later."""
+        sim = Simulator(seed=3)
+        a, b = make_lan(sim, tcp_explicit_acks=True)
+        # Slow down b's outgoing (the ACK path) with a delay pipe.
+        b.fw.add_pipe(1, DummynetPipe(sim, delay=0.5, name="ackslow"))
+        b.fw.add(ACTION_PIPE, pipe=1, direction=DIR_OUT, proto="tcp")
+        admitted = []
+        server = Socket(b)
+        server.bind((b.iface.primary, 5000))
+
+        def srv():
+            server.listen()
+            conn = yield server.accept()
+            while True:
+                item = yield conn.recv()
+                if item is None:
+                    break
+
+        def cli():
+            sock = Socket(a, window=10_000)
+            raise_if_error((yield sock.connect((b.iface.primary, 5000))))
+            for _ in range(3):
+                yield sock.send(b"x", 10_000)
+                admitted.append(sim.now)
+            sock.close()
+
+        Process(sim, srv())
+        Process(sim, cli())
+        sim.run()
+        # Second send admitted only after the (delayed) first ACK.
+        assert admitted[1] - admitted[0] > 0.5
+
+
+class TestIndexedFirewall:
+    def probe(self, src="10.0.0.1", dst="10.0.0.99"):
+        return Packet(IPv4Address(src), IPv4Address(dst), "tcp", 100)
+
+    def test_exact_rules_found_by_hash(self):
+        sim = Simulator()
+        fw = IndexedFirewall()
+        pipe = fw.add_pipe(1, DummynetPipe(sim))
+        for i in range(100):
+            fw.add(ACTION_PIPE, pipe=pipe, src=IPv4Address("10.0.0.1") + i, direction=DIR_OUT)
+        v = fw.evaluate(self.probe(), DIR_OUT)
+        assert v.pipes == (pipe,)
+        assert v.scanned <= 3  # 2 hash probes + 1 candidate
+
+    def test_prefix_rules_stay_linear(self):
+        fw = IndexedFirewall()
+        fw.add(ACTION_COUNT, src=IPv4Network("172.16.0.0/16"))
+        fw.add(ACTION_DENY, src=IPv4Network("10.0.0.0/8"))
+        v = fw.evaluate(self.probe(), DIR_OUT)
+        assert not v.allowed
+
+    def test_rule_order_preserved_across_tables(self):
+        """A deny numbered before an exact pipe rule must win."""
+        sim = Simulator()
+        fw = IndexedFirewall()
+        pipe = fw.add_pipe(1, DummynetPipe(sim))
+        fw.add(ACTION_DENY, number=100, src=IPv4Network("10.0.0.0/8"))
+        fw.add(ACTION_PIPE, number=200, pipe=pipe, src=IPv4Address("10.0.0.1"))
+        v = fw.evaluate(self.probe(), DIR_OUT)
+        assert not v.allowed
+        assert v.pipes == ()
+
+    def test_delete_and_flush(self):
+        fw = IndexedFirewall()
+        fw.add(ACTION_COUNT, number=100, src=IPv4Address("10.0.0.1"))
+        fw.delete(100)
+        assert fw.evaluate(self.probe(), DIR_OUT).scanned == 2  # probes only
+        fw.add(ACTION_COUNT, src=IPv4Address("10.0.0.1"))
+        fw.flush()
+        assert len(fw) == 0
+        assert fw.evaluate(self.probe(), DIR_OUT).allowed
+
+    def test_dst_indexing(self):
+        sim = Simulator()
+        fw = IndexedFirewall()
+        pipe = fw.add_pipe(1, DummynetPipe(sim))
+        fw.add(ACTION_PIPE, pipe=pipe, dst=IPv4Address("10.0.0.99"), direction="in")
+        v = fw.evaluate(self.probe(), "in")
+        assert v.pipes == (pipe,)

@@ -1,0 +1,160 @@
+"""Tests for Dummynet pipes."""
+
+import pytest
+
+from repro.errors import FirewallError
+from repro.net.addr import IPv4Address
+from repro.net.packet import Packet
+from repro.net.pipe import DummynetPipe
+from repro.sim import Simulator
+
+A = IPv4Address("10.0.0.1")
+B = IPv4Address("10.0.0.2")
+
+
+def pkt(size=1000):
+    return Packet(src=A, dst=B, proto="udp", size=size)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+def run_and_collect(sim, pipe, packets):
+    """Transmit packets now; return [(arrival_time, packet), ...]."""
+    out = []
+    for p in packets:
+        pipe.transmit(p, lambda q: out.append((sim.now, q)))
+    sim.run()
+    return out
+
+
+class TestSerialization:
+    def test_single_packet_latency(self, sim):
+        # 1000 bytes at 1000 B/s + 0.5s delay -> arrives at 1.5s.
+        pipe = DummynetPipe(sim, bandwidth=1000.0, delay=0.5)
+        out = run_and_collect(sim, pipe, [pkt(1000)])
+        assert out[0][0] == pytest.approx(1.5)
+
+    def test_back_to_back_packets_queue(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0)
+        out = run_and_collect(sim, pipe, [pkt(1000), pkt(1000), pkt(1000)])
+        assert [t for t, _ in out] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_delay_does_not_serialize(self, sim):
+        # Unshaped pipe: both packets arrive after the same delay.
+        pipe = DummynetPipe(sim, delay=0.25)
+        out = run_and_collect(sim, pipe, [pkt(), pkt()])
+        assert [t for t, _ in out] == pytest.approx([0.25, 0.25])
+
+    def test_pipe_drains_over_time(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0)
+        arrivals = []
+        pipe.transmit(pkt(1000), lambda p: arrivals.append(sim.now))
+        sim.run()
+        # After the first packet drained, a later one starts fresh.
+        # schedule() is relative to now (=1.0): fires at t=6.0.
+        sim.schedule(5.0, lambda: pipe.transmit(pkt(500), lambda p: arrivals.append(sim.now)))
+        sim.run()
+        assert arrivals == pytest.approx([1.0, 6.5])
+
+    def test_fifo_order_preserved(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=10000.0, delay=0.1)
+        sizes = [100, 5000, 50]
+        out = run_and_collect(sim, pipe, [pkt(s) for s in sizes])
+        assert [p.size for _, p in out] == sizes
+
+    def test_backlog_accounting(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0)
+        pipe.transmit(pkt(2000), lambda p: None)
+        assert pipe.backlog_seconds == pytest.approx(2.0)
+        assert pipe.backlog_bytes == pytest.approx(2000.0)
+        sim.run()
+        assert pipe.backlog_seconds == 0.0
+
+
+class TestQueueLimit:
+    def test_tail_drop_when_backlog_exceeds_limit(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0, queue_limit=1500)
+        assert pipe.transmit(pkt(1000), lambda p: None) is True
+        # Backlog now 1000B; adding 1000B would exceed 1500B.
+        assert pipe.transmit(pkt(1000), lambda p: None) is False
+        assert pipe.packets_dropped_queue == 1
+
+    def test_queue_frees_as_pipe_drains(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0, queue_limit=1000)
+        assert pipe.transmit(pkt(1000), lambda p: None)
+        sim.run()
+        assert pipe.transmit(pkt(1000), lambda p: None)
+
+    def test_unshaped_pipe_ignores_queue_limit(self, sim):
+        pipe = DummynetPipe(sim, delay=0.1, queue_limit=10)
+        assert pipe.transmit(pkt(1000), lambda p: None)
+
+
+class TestLoss:
+    def test_plr_zero_never_drops(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1e6)
+        assert all(pipe.transmit(pkt(10), lambda p: None) for _ in range(100))
+
+    def test_plr_drops_expected_fraction(self, sim):
+        pipe = DummynetPipe(sim, delay=0.0, plr=0.3, name="lossy")
+        n = 5000
+        dropped = sum(0 if pipe.transmit(pkt(10), lambda p: None) else 1 for _ in range(n))
+        assert 0.25 < dropped / n < 0.35
+        assert pipe.packets_dropped_loss == dropped
+
+    def test_loss_is_deterministic_per_seed(self):
+        def outcomes(seed):
+            sim = Simulator(seed=seed)
+            pipe = DummynetPipe(sim, delay=0.0, plr=0.5, name="d")
+            return [pipe.transmit(pkt(10), lambda p: None) for _ in range(50)]
+
+        assert outcomes(11) == outcomes(11)
+        assert outcomes(11) != outcomes(12)
+
+
+class TestStatsAndConfig:
+    def test_counters(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1e6)
+        run_and_collect(sim, pipe, [pkt(100), pkt(200)])
+        assert pipe.packets_in == 2
+        assert pipe.packets_out == 2
+        assert pipe.bytes_in == 300
+        assert pipe.bytes_out == 300
+        assert pipe.utilization_bytes == 300
+
+    def test_reconfigure(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0, delay=0.1)
+        pipe.reconfigure(bandwidth=2000.0, delay=0.2, plr=0.0)
+        out = run_and_collect(sim, pipe, [pkt(1000)])
+        assert out[0][0] == pytest.approx(0.7)
+
+    def test_reconfigure_enables_loss(self, sim):
+        pipe = DummynetPipe(sim, bandwidth=1000.0, name="p")
+        pipe.reconfigure(plr=0.9)
+        results = [pipe.transmit(pkt(1), lambda p: None) for _ in range(100)]
+        assert not all(results)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth": 0},
+            {"bandwidth": -5},
+            {"delay": -0.1},
+            {"plr": 1.0},
+            {"plr": -0.1},
+        ],
+    )
+    def test_invalid_params_rejected(self, sim, kwargs):
+        with pytest.raises(FirewallError):
+            DummynetPipe(sim, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"bandwidth": 0}, {"delay": -1}, {"plr": 1.5}]
+    )
+    def test_invalid_reconfigure_rejected(self, sim, kwargs):
+        pipe = DummynetPipe(sim, bandwidth=1000.0)
+        with pytest.raises(FirewallError):
+            pipe.reconfigure(**kwargs)

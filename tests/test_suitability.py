@@ -1,0 +1,58 @@
+"""Tests for the host suitability pre-flight checks."""
+
+import pytest
+
+from repro.hostos.suitability import (
+    FAIRNESS_SPREAD_LIMIT,
+    SuitabilityReport,
+    check_suitability,
+)
+
+
+class TestSuitability:
+    def test_paper_folding_is_suitable(self):
+        """The paper's 32-80 vnodes/pnode of a lean BitTorrent client
+        fit comfortably on a 2 GB host under 4BSD."""
+        report = check_suitability(80, memory_per_vnode_mb=15.0)
+        assert report.suitable
+        assert report.fits_in_memory
+        assert report.scheduler_fair
+        assert report.expected_memory_slowdown == 1.0
+        assert report.notes == []
+
+    def test_memory_overcommit_flagged(self):
+        report = check_suitability(50, memory_per_vnode_mb=100.0, ram_mb=2048.0)
+        assert not report.fits_in_memory
+        assert not report.suitable
+        assert report.expected_memory_slowdown > 2.0
+        assert any("virtual memory" in note for note in report.notes)
+
+    def test_ule_flagged_unfair(self):
+        report = check_suitability(10, memory_per_vnode_mb=10.0, scheduler="ule")
+        assert not report.scheduler_fair
+        assert not report.suitable
+        assert any("4BSD" in note for note in report.notes)
+
+    def test_linux_is_fair(self):
+        report = check_suitability(10, memory_per_vnode_mb=10.0, scheduler="linux26")
+        assert report.scheduler_fair
+
+    def test_unknown_scheduler(self):
+        report = check_suitability(10, memory_per_vnode_mb=10.0, scheduler="cfs")
+        assert not report.suitable
+        assert any("unknown scheduler" in note for note in report.notes)
+
+    def test_extreme_process_count_flagged(self):
+        report = check_suitability(2000, memory_per_vnode_mb=0.1, ram_mb=8192.0)
+        assert not report.suitable
+        assert any("studied range" in note for note in report.notes)
+
+    def test_report_rendering(self):
+        good = check_suitability(10, memory_per_vnode_mb=10.0)
+        assert str(good).startswith("SUITABLE")
+        bad = check_suitability(50, memory_per_vnode_mb=100.0)
+        assert str(bad).startswith("NOT SUITABLE")
+        assert "-" in str(bad)
+
+    def test_limit_constant_sane(self):
+        assert 0 < FAIRNESS_SPREAD_LIMIT < 0.25

@@ -1,0 +1,131 @@
+"""Tests for the UDP tracker protocol (BEP 15 style)."""
+
+import pytest
+
+from repro.bittorrent import Swarm, SwarmConfig
+from repro.bittorrent.client import ClientConfig
+from repro.bittorrent.tracker import AnnounceRequest
+from repro.bittorrent.udp_tracker import (
+    ANNOUNCE_REQUEST_SIZE,
+    ConnectRequest,
+    ConnectResponse,
+    UdpAnnounceRequest,
+    UdpAnnounceResponse,
+    UdpTrackerServer,
+    udp_announce_once,
+)
+from repro.net.addr import IPv4Address
+from repro.net.ipfw import ACTION_DENY
+from repro.sim.process import Process
+from repro.units import MB
+from repro.virt import Testbed
+
+
+def make_tracker_setup():
+    testbed = Testbed(num_pnodes=2, seed=17)
+    tracker_vnode, client_vnode = testbed.deploy(
+        [IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")]
+    )
+    tracker = UdpTrackerServer(tracker_vnode)
+    tracker.start()
+    return testbed, tracker, client_vnode
+
+
+def announce(testbed, tracker, vnode, **req_overrides):
+    request = AnnounceRequest(
+        infohash=7,
+        peer_ip=vnode.address,
+        peer_port=6881,
+        event="started",
+        left=1000,
+        **req_overrides,
+    )
+    result = []
+
+    def app(vn):
+        peers = yield from udp_announce_once(vn, tracker.address, request)
+        result.append(peers)
+
+    vnode.spawn(app, start_delay=0.1)
+    testbed.sim.run()
+    return result[0]
+
+
+class TestUdpTracker:
+    def test_announce_roundtrip(self):
+        testbed, tracker, vnode = make_tracker_setup()
+        peers = announce(testbed, tracker, vnode)
+        assert peers == []  # first and only peer
+        assert tracker.announces == 1
+        assert tracker.swarm_size(7) == 1
+
+    def test_two_peers_discover_each_other(self):
+        testbed, tracker, vnode = make_tracker_setup()
+        vnode2 = testbed.pnodes[1].add_vnode("extra", "10.0.0.3")
+        assert announce(testbed, tracker, vnode) == []
+        peers = announce(testbed, tracker, vnode2)
+        assert (vnode.address, 6881) in peers
+
+    def test_stale_connection_id_dropped(self):
+        """Announces with a forged connection id are silently ignored."""
+        testbed, tracker, vnode = make_tracker_setup()
+        got = []
+
+        def app(vn):
+            from repro.net.socket_api import Socket
+
+            libc = vn.libc
+            sock = yield from libc.socket(type=Socket.UDP)
+            yield from libc.bind(sock, (vn.address, 0))
+            req = UdpAnnounceRequest(
+                connection_id=0xDEAD,
+                transaction_id=1,
+                announce=AnnounceRequest(7, vn.address, 6881),
+            )
+            yield from libc.sendto(sock, req, req.wire_size, tracker.address)
+            item = yield (sock.recvfrom(), 5.0)
+            got.append(item)
+
+        vnode.spawn(app, start_delay=0.1)
+        testbed.sim.run()
+        from repro.sim.process import TIMEOUT
+
+        assert got[0] is TIMEOUT
+        assert tracker.announces == 0
+
+    def test_announce_gives_up_when_tracker_unreachable(self):
+        testbed, tracker, vnode = make_tracker_setup()
+        # Drop every UDP datagram leaving the client's node.
+        vnode.pnode.stack.fw.add(ACTION_DENY, proto="udp")
+        peers = announce(testbed, tracker, vnode)
+        assert peers is None
+
+    def test_wire_sizes(self):
+        assert ConnectRequest(1).wire_size == 16
+        assert ConnectResponse(1, 2).wire_size == 16
+        req = UdpAnnounceRequest(1, 2, AnnounceRequest(7, IPv4Address("10.0.0.1"), 6881))
+        assert req.wire_size == ANNOUNCE_REQUEST_SIZE
+        from repro.bittorrent.tracker import AnnounceResponse
+
+        resp = UdpAnnounceResponse(
+            2, AnnounceResponse(peers=((IPv4Address("10.0.0.9"), 6881),) * 3,
+                                interval=300, complete=0, incomplete=3)
+        )
+        assert resp.wire_size == 20 + 18
+
+
+class TestSwarmOverUdpTracker:
+    def test_full_swarm_completes(self):
+        swarm = Swarm(SwarmConfig(
+            leechers=5, seeders=1, file_size=1 * MB, stagger=1.0,
+            num_pnodes=2, seed=19,
+            client=ClientConfig(tracker_transport="udp"),
+        ))
+        assert isinstance(swarm.tracker, UdpTrackerServer)
+        swarm.run(max_time=20000)
+        assert all(c.complete for c in swarm.leechers)
+        # Completed-event announces also went over UDP.
+        swarm.sim.run(until=swarm.sim.now + 60)
+        state = swarm.tracker._swarms[swarm.torrent.infohash]
+        seeders = sum(1 for (_a, _p, left) in state.values() if left == 0)
+        assert seeders == 6

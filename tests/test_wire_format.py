@@ -1,0 +1,171 @@
+"""Tests for bencoding and the binary wire codec — including the proof
+that every message class charges its true on-wire size."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bittorrent import messages as msg
+from repro.bittorrent.bencode import bdecode, bencode
+from repro.bittorrent.bitfield import Bitfield
+from repro.bittorrent.wire_format import decode, decode_handshake, encode
+from repro.errors import ProtocolError
+from repro.units import KB
+
+
+class TestBencode:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (42, b"i42e"),
+            (-7, b"i-7e"),
+            (0, b"i0e"),
+            (b"spam", b"4:spam"),
+            ("spam", b"4:spam"),
+            (b"", b"0:"),
+            ([b"spam", 42], b"l4:spami42ee"),
+            ({"foo": 42, "bar": b"spam"}, b"d3:bar4:spam3:fooi42ee"),
+            ([], b"le"),
+            ({}, b"de"),
+            (True, b"i1e"),
+        ],
+    )
+    def test_encode_known_vectors(self, value, expected):
+        assert bencode(value) == expected
+
+    def test_dict_keys_sorted(self):
+        assert bencode({"b": 1, "a": 2}) == b"d1:ai2e1:bi1ee"
+
+    def test_decode_known(self):
+        assert bdecode(b"d3:bar4:spam3:fooi42ee") == {b"bar": b"spam", b"foo": 42}
+        assert bdecode(b"l4:spami42ee") == [b"spam", 42]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"i42",         # unterminated int
+            b"ie",          # empty int
+            b"i-0e",        # negative zero
+            b"i042e",       # leading zero
+            b"5:spam",      # truncated string
+            b"l4:spam",     # unterminated list
+            b"d3:foo",      # dict missing value
+            b"i1ei2e",      # trailing garbage
+            b"x",           # unknown lead byte
+            b"",            # empty
+            b"01:a",        # string length leading zero
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            bdecode(bad)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(ProtocolError):
+            bencode(3.14)  # floats are not bencodable
+        with pytest.raises(ProtocolError):
+            bencode({42: "intkey"})
+
+    bencodable = st.recursive(
+        st.integers(-(2**40), 2**40) | st.binary(max_size=30),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.binary(max_size=8), children, max_size=4),
+        max_leaves=12,
+    )
+
+    @given(bencodable)
+    def test_roundtrip(self, value):
+        assert bdecode(bencode(value)) == value
+
+
+class TestWireCodec:
+    def all_messages(self):
+        bf = Bitfield(64)
+        bf.set(0)
+        bf.set(63)
+        return [
+            msg.Handshake(infohash=0xDEADBEEF, peer_id="RP-node1"),
+            msg.KeepAlive(),
+            msg.Choke(),
+            msg.Unchoke(),
+            msg.Interested(),
+            msg.NotInterested(),
+            msg.Have(7),
+            msg.BitfieldMsg(bf),
+            msg.Request(3, 1),
+            msg.Cancel(3, 1),
+            msg.Piece(3, 1, 16 * KB),
+        ]
+
+    def test_wire_size_accounting_is_exact(self):
+        """The emulation charges each message's true BEP 3 byte size."""
+        for message in self.all_messages():
+            assert len(encode(message)) == message.wire_size, type(message).__name__
+
+    def test_handshake_roundtrip(self):
+        hs = msg.Handshake(infohash=123456789, peer_id="RP-x")
+        decoded = decode_handshake(encode(hs))
+        assert decoded.infohash == hs.infohash
+        assert decoded.peer_id == hs.peer_id
+
+    def test_frame_roundtrips(self):
+        for message in self.all_messages():
+            if isinstance(message, msg.Handshake):
+                continue
+            decoded = decode(encode(message))
+            assert type(decoded) is type(message)
+            if isinstance(message, (msg.Have,)):
+                assert decoded.index == message.index
+            if isinstance(message, (msg.Request, msg.Cancel)):
+                assert (decoded.index, decoded.block) == (message.index, message.block)
+            if isinstance(message, msg.Piece):
+                assert decoded.length == message.length
+
+    def test_bitfield_bits_survive_roundtrip(self):
+        bf = Bitfield(64)
+        for i in (0, 9, 31, 63):
+            bf.set(i)
+        decoded = decode(encode(msg.BitfieldMsg(bf)))
+        assert set(decoded.bitfield.present()) == {0, 9, 31, 63}
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"\x00")
+        with pytest.raises(ProtocolError):
+            decode(b"\x00\x00\x00\x05\x04\x00")  # length mismatch
+        with pytest.raises(ProtocolError):
+            decode(b"\x00\x00\x00\x01\xff")  # unknown id
+        with pytest.raises(ProtocolError):
+            decode_handshake(b"short")
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_have_roundtrip_any_index(self, index):
+        assert decode(encode(msg.Have(index))).index == index
+
+
+class TestTrackerWireRealism:
+    @pytest.mark.parametrize("npeers", [0, 1, 10, 50])
+    def test_announce_response_size_matches_real_bencoding(self, npeers):
+        """The tracker's response accounting (BASE + 6n) must track the
+        size of a real bencoded compact-peers response."""
+        from repro.bittorrent.tracker import AnnounceResponse
+        from repro.net.addr import IPv4Address
+
+        peers = tuple(
+            (IPv4Address("10.0.0.1") + i, 6881) for i in range(npeers)
+        )
+        response = AnnounceResponse(
+            peers=peers, interval=300, complete=2, incomplete=npeers
+        )
+        compact = b"".join(
+            int(addr).to_bytes(4, "big") + port.to_bytes(2, "big")
+            for addr, port in peers
+        )
+        real = bencode(
+            {
+                "interval": 300,
+                "complete": 2,
+                "incomplete": npeers,
+                "peers": compact,
+            }
+        )
+        assert abs(response.wire_size - len(real)) <= 12
