@@ -1,0 +1,15 @@
+"""Root conftest: make the in-tree ``src`` layout importable.
+
+``python -m pytest`` from a clean checkout must work without a manual
+``PYTHONPATH=src`` prefix (and without installing the package). The
+``[tool.pytest.ini_options] pythonpath`` setting covers pytest >= 7;
+this conftest covers everything else that imports tests directly and
+keeps the path correction in one obvious place.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro <experiment-id>``.
 
 Runs one of the paper's experiments and prints its report. ``list``
-shows all known ids; ``all`` runs everything (scaled defaults).
+shows all known ids; ``all`` runs everything (scaled defaults);
+``metrics`` runs a quickstart-sized swarm and dumps the run manifest
+plus the full platform metrics snapshot (JSON by default).
 
 Examples::
 
@@ -9,6 +11,9 @@ Examples::
     python -m repro fig6
     python -m repro fig8 -- leechers=40 file_size=8388608
     python -m repro all
+    python -m repro metrics
+    python -m repro metrics seed=7 leechers=6 format=text
+    python -m repro metrics out=run.json deterministic=true
 """
 
 from __future__ import annotations
@@ -58,6 +63,79 @@ def run_one(experiment_id: str, overrides: Dict[str, Any]) -> int:
     return 0
 
 
+def run_metrics(overrides: Dict[str, Any]) -> int:
+    """``python -m repro metrics``: run a small swarm, emit manifest+metrics.
+
+    Overrides: any :class:`~repro.bittorrent.swarm.SwarmConfig` scalar
+    (``leechers``, ``seeders``, ``file_size``, ``seed``, ...) plus
+
+    * ``format`` — ``json`` (default), ``text`` or ``csv``;
+    * ``out`` — write to a file instead of stdout (required for csv);
+    * ``max_time`` — simulation horizon (default 20000 s);
+    * ``deterministic`` — drop host-specific manifest fields so the
+      output is byte-identical across same-seed runs.
+    """
+    from repro.analysis.export import metrics_json, write_metrics_csv, write_metrics_json
+    from repro.bittorrent import Swarm, SwarmConfig
+    from repro.core.report import format_metrics
+    from repro.units import MB
+
+    overrides = dict(overrides)
+    fmt = overrides.pop("format", "json")
+    out = overrides.pop("out", None)
+    max_time = float(overrides.pop("max_time", 20000.0))
+    deterministic = bool(overrides.pop("deterministic", False))
+    params: Dict[str, Any] = {
+        "leechers": 4,
+        "seeders": 1,
+        "file_size": 1 * MB,
+        "stagger": 1.0,
+        "num_pnodes": 2,
+        "seed": 42,
+    }
+    params.update(overrides)
+    try:
+        config = SwarmConfig(**params)
+    except TypeError as exc:
+        print(f"bad override: {exc}", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    swarm = Swarm(config)
+    swarm.run(max_time=max_time)
+    wall = time.perf_counter() - start
+
+    manifest = swarm.manifest(
+        wall_time_seconds=None if deterministic else wall
+    )
+    snapshot = swarm.metrics_snapshot()
+    spans = swarm.sim.tracer.as_list()
+
+    if fmt == "text":
+        text = format_metrics(snapshot, manifest)
+    elif fmt == "csv":
+        if out is None:
+            print("format=csv requires out=<path>", file=sys.stderr)
+            return 2
+        write_metrics_csv(out, snapshot)
+        return 0
+    elif fmt == "json":
+        text = metrics_json(manifest, snapshot, spans, deterministic_only=deterministic)
+    else:
+        print(f"unknown format {fmt!r} (json|text|csv)", file=sys.stderr)
+        return 2
+    if out is not None:
+        if fmt == "json":
+            write_metrics_json(out, manifest, snapshot, spans, deterministic)
+        else:
+            from pathlib import Path
+
+            Path(out).write_text(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -65,7 +143,7 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list', or 'all'",
+        help="experiment id (see 'list'), 'list', 'all', or 'metrics'",
     )
     parser.add_argument(
         "overrides",
@@ -81,6 +159,8 @@ def main(argv: List[str] | None = None) -> int:
         return 0
 
     overrides = _parse_overrides(args.overrides)
+    if args.experiment == "metrics":
+        return run_metrics(overrides)
     if args.experiment == "all":
         status = 0
         for experiment_id in EXPERIMENTS:

@@ -1,17 +1,24 @@
-"""Export series to gnuplot-style data files.
+"""Export series to gnuplot-style data files, and metrics to JSON/CSV.
 
 The paper's figures are gnuplot plots of whitespace-separated data
 files; this module writes exactly those artifacts so a user can
 regenerate publication figures from any experiment:
 
 * ``write_dat`` — one ``x y`` (or ``x y1 y2 ...``) file per series;
-* ``write_gnuplot_script`` — a ``.gp`` driver plotting the files.
+* ``write_gnuplot_script`` — a ``.gp`` driver plotting the files;
+* ``metrics_document`` / ``write_metrics_json`` /
+  ``write_metrics_csv`` — run-manifest + metrics snapshot emitters
+  for the :mod:`repro.obs` observability layer.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Snapshot
 
 Series = Sequence[Tuple[float, float]]
 PathLike = Union[str, pathlib.Path]
@@ -108,3 +115,80 @@ def export_figure(
         ylabel=ylabel,
         output=f"{figure_id}.png",
     )
+
+
+# ----------------------------------------------------------------------
+# Metrics / manifest emitters (repro.obs)
+# ----------------------------------------------------------------------
+
+
+def metrics_document(
+    manifest: Optional[RunManifest],
+    snapshot: Snapshot,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    deterministic_only: bool = False,
+) -> Dict[str, Any]:
+    """The canonical export shape: ``{manifest, metrics[, spans]}``.
+
+    With ``deterministic_only`` the manifest drops its host-specific
+    fields (wall clock, python version); the metrics snapshot is
+    already deterministic by construction, so the resulting document
+    is byte-identical across same-seed runs.
+    """
+    doc: Dict[str, Any] = {
+        "manifest": manifest.as_dict(deterministic_only) if manifest else None,
+        "metrics": snapshot,
+    }
+    if spans is not None:
+        doc["spans"] = spans
+    return doc
+
+
+def metrics_json(
+    manifest: Optional[RunManifest],
+    snapshot: Snapshot,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    deterministic_only: bool = False,
+    indent: Optional[int] = 2,
+) -> str:
+    """Serialize :func:`metrics_document` with sorted keys (stable bytes)."""
+    return json.dumps(
+        metrics_document(manifest, snapshot, spans, deterministic_only),
+        sort_keys=True,
+        indent=indent,
+    )
+
+
+def write_metrics_json(
+    path: PathLike,
+    manifest: Optional[RunManifest],
+    snapshot: Snapshot,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    deterministic_only: bool = False,
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(metrics_json(manifest, snapshot, spans, deterministic_only) + "\n")
+    return path
+
+
+def write_metrics_csv(path: PathLike, snapshot: Snapshot) -> pathlib.Path:
+    """Flat ``metric,kind,field,value`` rows — one line per scalar, so
+    histograms expand into count/sum/min/max plus one ``bucket_le_X``
+    row per bucket (spreadsheet- and pandas-friendly)."""
+    path = pathlib.Path(path)
+    lines = ["metric,kind,field,value"]
+    for name, metric in snapshot.items():
+        kind = metric["kind"]
+        if kind == "histogram":
+            for field in ("count", "sum", "min", "max"):
+                lines.append(f"{name},{kind},{field},{metric[field]}")
+            edges = list(metric["edges"]) + ["inf"]  # type: ignore[arg-type]
+            for edge, count in zip(edges, metric["counts"]):  # type: ignore[arg-type]
+                lines.append(f"{name},{kind},bucket_le_{edge},{count}")
+        elif kind == "gauge":
+            lines.append(f"{name},{kind},value,{metric['value']}")
+            lines.append(f"{name},{kind},peak,{metric['peak']}")
+        else:
+            lines.append(f"{name},{kind},value,{metric['value']}")
+    path.write_text("\n".join(lines) + "\n")
+    return path

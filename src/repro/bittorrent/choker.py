@@ -74,6 +74,7 @@ class Choker:
         self.rechokes = 0
         self._rng = client.vnode.sim.rng.stream(f"bt.choker/{client.vnode.name}")
         self._stopped = False
+        self._m_rounds = client.vnode.sim.metrics.counter("bt.client.choke_rounds")
 
     def start(self) -> None:
         self.client.vnode.sim.schedule(self.interval, self._tick)
@@ -91,6 +92,7 @@ class Choker:
     def rechoke(self) -> None:
         """One choking round."""
         self.rechokes += 1
+        self._m_rounds.inc()
         now = self.client.vnode.sim.now
         peers: List["PeerConnection"] = [
             p for p in self.client.peers() if p.handshaked and not p.closed

@@ -125,6 +125,13 @@ class BitTorrentClient:
         self._ss_assigned: Dict[int, int] = {}  # peer ip value -> piece
         self._ss_reveal_count: Dict[int, int] = {}  # piece -> grants
         self.ss_pieces_redistributed = 0
+        # Shared observability instruments (swarm-wide aggregation).
+        registry = vnode.sim.metrics
+        self._m_pieces = registry.counter("bt.client.pieces_completed")
+        self._m_piece_time = registry.histogram("bt.client.piece_completion_seconds")
+        self._m_corrupt = registry.counter("bt.client.corrupt_pieces")
+        self._m_completions = registry.counter("bt.swarm.completions")
+        self._m_download_time = registry.histogram("bt.swarm.download_seconds")
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -313,6 +320,7 @@ class BitTorrentClient:
             if rng.random() < self.config.corruption_rate:
                 # Hash check failed: discard and re-download the piece.
                 self.corrupt_pieces += 1
+                self._m_corrupt.inc()
                 self.picker.discard_piece(index)
                 self.vnode.log("bt.corrupt", piece=index)
                 for peer in self.peers():
@@ -320,6 +328,10 @@ class BitTorrentClient:
                         self.update_interest(peer)
                 return
         self.payload_received += size
+        self._m_pieces.inc()
+        # Sim-time from this client's start to the piece's completion —
+        # the per-piece shape of the Fig. 8 download-evolution curves.
+        self._m_piece_time.observe(self.vnode.sim.now - (self.started_at or 0.0))
         self.vnode.log(
             "bt.progress",
             pct=100.0 * self.progress,
@@ -335,6 +347,10 @@ class BitTorrentClient:
                 self.update_interest(peer)
         if self.complete and self.completed_at is None:
             self.completed_at = self.vnode.sim.now
+            self._m_completions.inc()
+            self._m_download_time.observe(
+                self.completed_at - (self.started_at or 0.0)
+            )
             self.vnode.log(
                 "bt.complete",
                 duration=self.completed_at - (self.started_at or 0.0),

@@ -18,6 +18,7 @@ from repro.bittorrent.metainfo import (
 )
 from repro.bittorrent.tracker import DEFAULT_TRACKER_PORT, TrackerServer
 from repro.errors import ExperimentError
+from repro.obs import RunManifest, Snapshot, topology_fingerprint
 from repro.topology.compiler import compile_topology
 from repro.topology.presets import LinkProfile, bittorrent_profile
 from repro.topology.spec import TopologySpec
@@ -84,6 +85,7 @@ class Swarm:
             latency=cfg.profile.latency,
             plr=cfg.profile.plr,
         )
+        self.spec = spec
         self.compiler = compile_topology(spec, self.testbed)
 
         tracker_vnode = self.compiler.vnodes("infra")[0]
@@ -148,7 +150,11 @@ class Swarm:
                 self.sim.stop()
 
         self.sim.trace.subscribe("bt.complete", on_complete)
-        self.sim.run(until=max_time)
+        with self.sim.tracer.span(
+            "bt.swarm.run", leechers=target, seeders=len(self.seeders)
+        ) as span:
+            self.sim.run(until=max_time)
+            span.annotate(completions=len(done_at))
         if len(done_at) < target:
             raise ExperimentError(
                 f"swarm did not complete: {len(done_at)}/{target} leechers "
@@ -156,7 +162,8 @@ class Swarm:
             )
         last = max(done_at.values())
         if grace > 0.0:
-            self.sim.run(until=last + grace)
+            with self.sim.tracer.span("bt.swarm.seeding_grace"):
+                self.sim.run(until=last + grace)
         return last
 
     def stop(self) -> None:
@@ -179,6 +186,29 @@ class Swarm:
             fw.pipe(base).reconfigure(bandwidth=up_bw)
         if down_bw is not None:
             fw.pipe(base + 1).reconfigure(bandwidth=down_bw)
+
+    # -- observability -----------------------------------------------------
+    def manifest(
+        self, wall_time_seconds: Optional[float] = None, **extra
+    ) -> RunManifest:
+        """Provenance record of this swarm run (seed, topology hash,
+        clocks, event counts) — attach it to every metrics export."""
+        cfg = self.config
+        return RunManifest.from_sim(
+            self.sim,
+            seed=cfg.seed,
+            topology_hash=topology_fingerprint(self.spec),
+            wall_time_seconds=wall_time_seconds,
+            leechers=cfg.leechers,
+            seeders=cfg.seeders,
+            file_size=cfg.file_size,
+            num_pnodes=cfg.num_pnodes,
+            **extra,
+        )
+
+    def metrics_snapshot(self, include_wall: bool = False) -> Snapshot:
+        """Deterministic snapshot of the platform-wide metrics registry."""
+        return self.sim.metrics.snapshot(include_wall=include_wall)
 
     # -- summary statistics ------------------------------------------------
     def completion_times(self) -> List[float]:

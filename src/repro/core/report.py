@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.collector import completion_times, progress_series
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Snapshot
 from repro.sim.trace import TraceRecorder
 
 
@@ -42,6 +44,60 @@ def summarize_swarm(trace: TraceRecorder) -> SwarmSummary:
         last_completion=times[-1],
         mean_download_time=sum(durations) / len(durations),
     )
+
+
+def format_metrics(snapshot: Snapshot, manifest: Optional[RunManifest] = None) -> str:
+    """Plain-text table of a metrics snapshot (optionally headed by the
+    run manifest) — what ``python -m repro metrics format=text`` prints
+    and what experiments append to their reports."""
+    lines: List[str] = []
+    if manifest is not None:
+        m = manifest.as_dict()
+        lines.append("== run manifest ==")
+        for key in sorted(k for k in m if k != "extra"):
+            lines.append(f"{key:<24} {m[key]}")
+        for key, value in m["extra"].items():
+            lines.append(f"extra.{key:<18} {value}")
+        lines.append("")
+    lines.append("== metrics ==")
+    width = max((len(name) for name in snapshot), default=0)
+    for name, metric in snapshot.items():
+        kind = metric["kind"]
+        if kind == "histogram":
+            mean = (
+                metric["sum"] / metric["count"] if metric["count"] else 0.0  # type: ignore[operator]
+            )
+            lines.append(
+                f"{name:<{width}}  count={metric['count']} "
+                f"mean={mean:.6g} min={metric.get('min')} max={metric.get('max')}"
+            )
+        elif kind == "gauge":
+            lines.append(
+                f"{name:<{width}}  value={metric['value']} peak={metric['peak']}"
+            )
+        else:
+            lines.append(f"{name:<{width}}  {metric['value']}")
+    return "\n".join(lines)
+
+
+def metrics_highlights(snapshot: Snapshot) -> List[Tuple[str, Any]]:
+    """The handful of platform-health numbers worth printing after any
+    run: events processed, rules scanned per packet, drop counts,
+    retransmissions — the paper's overload red flags."""
+    def val(name: str, field: str = "value") -> Any:
+        metric = snapshot.get(name)
+        return metric[field] if metric is not None else 0
+
+    packets = val("net.ipfw.packets_evaluated") or 1
+    rows: List[Tuple[str, Any]] = [
+        ("events processed", val("sim.kernel.events_processed")),
+        ("packets evaluated", val("net.ipfw.packets_evaluated")),
+        ("rules scanned / packet", val("net.ipfw.rules_scanned_total") / packets),
+        ("pipe drops (loss)", val("net.pipe.drops_loss")),
+        ("pipe drops (queue)", val("net.pipe.drops_queue")),
+        ("tcp retransmissions", val("net.tcp.retransmissions")),
+    ]
+    return rows
 
 
 def download_phases(trace: TraceRecorder, node: str) -> Dict[str, float]:

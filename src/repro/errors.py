@@ -96,3 +96,7 @@ class ProtocolError(ReproError):
 
 class TrackerError(ReproError):
     """Tracker announce failure."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics/tracing registry misuse (type conflict, bad bucket edges)."""

@@ -26,6 +26,7 @@ from repro.errors import FirewallError
 from repro.net.addr import IPv4Address, IPv4Network
 from repro.net.packet import Packet
 from repro.net.pipe import DummynetPipe
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Rule actions.
 ACTION_PIPE = "pipe"
@@ -133,13 +134,20 @@ class Firewall:
     equivalent: non-matching rules only ever contribute scan count.
     """
 
-    def __init__(self, name: str = "ipfw") -> None:
+    def __init__(self, name: str = "ipfw", metrics=None) -> None:
         self.name = name
         self._rules: List[Rule] = []
         self._pipes: dict[int, DummynetPipe] = {}
         self._next_number = 100
         self.packets_evaluated = 0
         self.rules_scanned_total = 0
+        # Shared observability instruments (aggregated across every
+        # firewall of the testbed; see repro.obs).
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_pkts = registry.counter("net.ipfw.packets_evaluated")
+        self._m_scanned = registry.counter("net.ipfw.rules_scanned_total")
+        self._m_denied = registry.counter("net.ipfw.packets_denied")
+        self._m_rules = registry.gauge("net.ipfw.rules")
         # Evaluation shortcut indexes (see class docstring).
         self._by_src: dict[int, List[Rule]] = {}
         self._by_dst: dict[int, List[Rule]] = {}
@@ -190,6 +198,7 @@ class Firewall:
         else:
             self._generic.append(rule)
         self._dirty = True
+        self._m_rules.inc()
         if number >= self._next_number:
             self._next_number = number + 100
         return rule
@@ -200,6 +209,7 @@ class Firewall:
         self._rules = [r for r in self._rules if r.number != number]
         if len(self._rules) == before:
             raise FirewallError(f"no rule numbered {number}")
+        self._m_rules.dec(before - len(self._rules))
         for table in (self._by_src, self._by_dst):
             for key in list(table):
                 table[key] = [r for r in table[key] if r.number != number]
@@ -209,6 +219,7 @@ class Firewall:
         self._dirty = True
 
     def flush(self) -> None:
+        self._m_rules.dec(len(self._rules))
         self._rules.clear()
         self._by_src.clear()
         self._by_dst.clear()
@@ -273,6 +284,10 @@ class Firewall:
             # ACTION_COUNT falls through.
         self.packets_evaluated += 1
         self.rules_scanned_total += scanned
+        self._m_pkts.inc()
+        self._m_scanned.inc(scanned)
+        if not allowed:
+            self._m_denied.inc()
         return Verdict(allowed, tuple(pipes), scanned)
 
     def stats(self) -> dict:

@@ -33,8 +33,8 @@ from repro.net.pipe import DummynetPipe
 class IndexedFirewall(Firewall):
     """Firewall whose *emulated* lookup cost is O(1) per exact rule."""
 
-    def __init__(self, name: str = "ipfw-indexed") -> None:
-        super().__init__(name=name)
+    def __init__(self, name: str = "ipfw-indexed", metrics=None) -> None:
+        super().__init__(name=name, metrics=metrics)
 
     def evaluate(self, packet: Packet, direction: str) -> Verdict:
         if self._dirty:
@@ -72,4 +72,8 @@ class IndexedFirewall(Firewall):
                 break
         self.packets_evaluated += 1
         self.rules_scanned_total += scanned
+        self._m_pkts.inc()
+        self._m_scanned.inc(scanned)
+        if not allowed:
+            self._m_denied.inc()
         return Verdict(allowed, tuple(pipes), scanned)

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import FirewallError
 from repro.net.packet import Packet
+from repro.obs.metrics import BYTES_EDGES, NULL_REGISTRY
 
 DeliverFn = Callable[[Packet], Any]
 
@@ -47,6 +48,10 @@ class DummynetPipe:
         "packets_dropped_queue",
         "bytes_in",
         "bytes_out",
+        "_m_out",
+        "_m_drop_loss",
+        "_m_drop_queue",
+        "_m_occupancy",
     )
 
     def __init__(
@@ -91,6 +96,14 @@ class DummynetPipe:
         self.packets_dropped_queue = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        # Platform-wide pipe instruments (shared registry on the sim).
+        registry = getattr(sim, "metrics", None) or NULL_REGISTRY
+        self._m_out = registry.counter("net.pipe.packets_out")
+        self._m_drop_loss = registry.counter("net.pipe.drops_loss")
+        self._m_drop_queue = registry.counter("net.pipe.drops_queue")
+        self._m_occupancy = registry.histogram(
+            "net.pipe.queue_occupancy_bytes", edges=BYTES_EDGES
+        )
 
     # ------------------------------------------------------------------
     def transmit(self, packet: Packet, deliver: DeliverFn) -> bool:
@@ -104,16 +117,19 @@ class DummynetPipe:
 
         if self._rng is not None and self._rng.random() < self.plr:
             self.packets_dropped_loss += 1
+            self._m_drop_loss.inc()
             return False
 
         if self.bandwidth is None:
             arrival_delay = self.delay
         else:
             backlog_start = self._busy_until if self._busy_until > now else now
+            backlog_bytes = (backlog_start - now) * self.bandwidth
+            self._m_occupancy.observe(backlog_bytes)
             if self.queue_limit is not None:
-                backlog_bytes = (backlog_start - now) * self.bandwidth
                 if backlog_bytes + packet.size > self.queue_limit:
                     self.packets_dropped_queue += 1
+                    self._m_drop_queue.inc()
                     return False
             depart = backlog_start + packet.size / self.bandwidth
             self._busy_until = depart
@@ -121,6 +137,7 @@ class DummynetPipe:
 
         self.packets_out += 1
         self.bytes_out += packet.size
+        self._m_out.inc()
         sim.schedule(arrival_delay, deliver, packet)
         return True
 

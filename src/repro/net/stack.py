@@ -61,7 +61,7 @@ class NetworkStack:
         self.sim = sim
         self.name = name
         self.iface = Interface("eth0")
-        self.fw = Firewall(name=f"ipfw/{name}")
+        self.fw = Firewall(name=f"ipfw/{name}", metrics=getattr(sim, "metrics", None))
         self.tcp = TcpLayer(self, explicit_acks=tcp_explicit_acks)
         self.udp = UdpLayer(self)
         self.switch = switch

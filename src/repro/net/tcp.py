@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.net.addr import IPv4Address
 from repro.net.packet import Packet, PROTO_TCP, TCP_HEADER
+from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.process import Signal
 from repro.sim.resources import Channel
 
@@ -65,7 +66,7 @@ Endpoint = Tuple[IPv4Address, int]
 class _Segment:
     """Payload envelope carried inside a data/fin packet."""
 
-    __slots__ = ("seq", "payload", "size", "ack_hook", "acked")
+    __slots__ = ("seq", "payload", "size", "ack_hook", "acked", "sent_at")
 
     def __init__(self, seq: int, payload: Any, size: int, ack_hook: Callable[["_Segment"], None]) -> None:
         self.seq = seq
@@ -73,6 +74,9 @@ class _Segment:
         self.size = size
         self.ack_hook = ack_hook
         self.acked = False
+        #: Sim-time of the most recent (re)transmission — the basis of
+        #: the ``net.tcp.rtt_seconds`` samples.
+        self.sent_at: Optional[float] = None
 
 
 class Connection:
@@ -120,6 +124,13 @@ class Connection:
         self.messages_received = 0
         self.retransmissions = 0
 
+        # Shared observability instruments (aggregate over every
+        # connection of the run; see repro.obs).
+        registry = getattr(self.sim, "metrics", None) or NULL_REGISTRY
+        self._m_retx = registry.counter("net.tcp.retransmissions")
+        self._m_segments = registry.counter("net.tcp.segments_sent")
+        self._m_rtt = registry.histogram("net.tcp.rtt_seconds")
+
     # -- sending -------------------------------------------------------
     def send(self, payload: Any, size: int) -> Signal:
         """Queue one application message of ``size`` payload bytes.
@@ -165,6 +176,8 @@ class Connection:
             kind=kind,
         )
         pkt.on_drop = lambda _pkt, seg=seg, kind=kind: self._on_segment_dropped(seg, kind)
+        seg.sent_at = self.sim.now
+        self._m_segments.inc()
         self.tcp.stack.send_packet(pkt)
         if kind == KIND_DATA:
             self.bytes_sent += seg.size
@@ -180,6 +193,7 @@ class Connection:
             return
         self._retries[seg.seq] = attempt
         self.retransmissions += 1
+        self._m_retx.inc()
         rto = INITIAL_RTO * (2 ** (attempt - 1))
         self.sim.schedule(rto, self._retransmit, seg, kind)
 
@@ -193,6 +207,11 @@ class Connection:
         if seg.acked:
             return  # duplicate arrival of a retransmitted segment
         seg.acked = True
+        if seg.sent_at is not None:
+            # Sim-time round-trip sample: with explicit ACKs this is a
+            # true RTT; in the default window-credit shortcut it is the
+            # one-way delivery time standing in for it.
+            self._m_rtt.observe(self.sim.now - seg.sent_at)
         self._retries.pop(seg.seq, None)
         self._in_flight -= seg.size
         self._pump()

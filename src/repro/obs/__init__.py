@@ -1,0 +1,52 @@
+"""repro.obs — the unified observability layer.
+
+One deterministic measurement substrate for the whole platform:
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms shared by every layer (``layer.component.metric``);
+* :class:`Tracer` / :class:`Span` — timeline spans keyed to sim-time;
+* :class:`RunManifest` — per-run provenance (seed, topology hash,
+  versions, clocks, event counts);
+* ``NULL_REGISTRY`` / ``NULL_TRACER`` — shared no-op instruments for
+  zero-overhead disabled mode (``Simulator(..., observe=False)``).
+
+The rule that makes this trustworthy: anything recorded from
+simulation state is deterministic and appears in
+:meth:`MetricsRegistry.snapshot`; anything recorded from the host's
+wall clock is flagged ``wall=True`` and stays out of the snapshot
+(it belongs in the manifest or in explicitly wall-labelled exports).
+"""
+
+from repro.obs.manifest import RunManifest, topology_fingerprint
+from repro.obs.metrics import (
+    BYTES_EDGES,
+    Counter,
+    DEFAULT_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+    Snapshot,
+    diff_snapshots,
+)
+from repro.obs.span import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BYTES_EDGES",
+    "Counter",
+    "DEFAULT_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "RunManifest",
+    "Snapshot",
+    "Span",
+    "Tracer",
+    "diff_snapshots",
+    "topology_fingerprint",
+]

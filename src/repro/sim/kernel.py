@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.span import NULL_TRACER, Tracer
 from repro.sim.event import Event, EventQueue, PRIORITY_NORMAL
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+
+#: Bucket edges for the (wall-clock) per-callback latency histogram —
+#: callbacks run in microseconds to milliseconds.
+CALLBACK_SECONDS_EDGES = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
 
 class Simulator:
@@ -34,7 +41,7 @@ class Simulator:
     (2.5, ['hello'])
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, observe: bool = True) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self.rng = RngRegistry(seed)
@@ -42,6 +49,25 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        # Observability substrate (repro.obs). ``observe=False`` swaps
+        # in shared no-op instruments: the hot loop then pays one bool
+        # test per event and nothing else.
+        if observe:
+            self.metrics = MetricsRegistry()
+            self.tracer = Tracer(lambda: self.now)
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+        #: When True, each callback's wall-clock duration is recorded
+        #: into the ``sim.kernel.callback_seconds`` histogram (a *wall*
+        #: metric — excluded from deterministic snapshots).
+        self.profile_callbacks = False
+        self._m_events = self.metrics.counter("sim.kernel.events_processed")
+        self._m_runs = self.metrics.counter("sim.kernel.runs")
+        self._m_queue_depth = self.metrics.gauge("sim.kernel.queue_depth")
+        self._m_callback = self.metrics.histogram(
+            "sim.kernel.callback_seconds", edges=CALLBACK_SECONDS_EDGES, wall=True
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -102,6 +128,8 @@ class Simulator:
         self._stopped = False
         queue = self._queue
         processed = 0
+        profile = self.profile_callbacks
+        observe_cb = self._m_callback.observe
         try:
             while queue:
                 if self._stopped:
@@ -121,13 +149,21 @@ class Simulator:
                 # exception does not pin the event's payload.
                 ev.callback = None
                 ev.args = ()
-                callback(*args)
+                if profile:
+                    t0 = perf_counter()
+                    callback(*args)
+                    observe_cb(perf_counter() - t0)
+                else:
+                    callback(*args)
                 processed += 1
             else:
                 if until is not None and until > self.now:
                     self.now = until
         finally:
             self.events_processed += processed
+            self._m_events.inc(processed)
+            self._m_runs.inc()
+            self._m_queue_depth.set(len(queue))
             self._running = False
 
     def step(self) -> bool:
@@ -141,6 +177,8 @@ class Simulator:
         ev.args = ()
         callback(*args)
         self.events_processed += 1
+        self._m_events.inc()
+        self._m_queue_depth.set(len(self._queue))
         return True
 
     def stop(self) -> None:
@@ -151,6 +189,22 @@ class Simulator:
     def pending(self) -> int:
         """Number of live scheduled events."""
         return len(self._queue)
+
+    def manifest(
+        self,
+        topology_hash: Optional[str] = None,
+        wall_time_seconds: Optional[float] = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Provenance record of this run (see :mod:`repro.obs.manifest`)."""
+        from repro.obs.manifest import RunManifest
+
+        return RunManifest.from_sim(
+            self,
+            topology_hash=topology_hash,
+            wall_time_seconds=wall_time_seconds,
+            **extra,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending})"

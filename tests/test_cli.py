@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command line."""
 
+import json
+
 import pytest
 
 from repro.__main__ import _parse_overrides, main
@@ -39,3 +41,61 @@ class TestMain:
     def test_run_tbl_connect(self, capsys):
         assert main(["tblA", "cycles=50"]) == 0
         assert "libc" in capsys.readouterr().out
+
+
+#: Small-swarm overrides so metrics CLI tests run in well under a second.
+FAST = ["leechers=2", "file_size=262144", "num_pnodes=2"]
+
+
+class TestMetricsCommand:
+    def test_json_output_parses_and_covers_layers(self, capsys):
+        assert main(["metrics", *FAST]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"manifest", "metrics", "spans"}
+        assert doc["manifest"]["seed"] == 42
+        for name in (
+            "sim.kernel.events_processed",
+            "net.ipfw.rules_scanned_total",
+            "net.tcp.segments_sent",
+            "bt.swarm.completions",
+        ):
+            assert name in doc["metrics"], name
+        assert any(s["name"] == "bt.swarm.run" for s in doc["spans"])
+
+    def test_deterministic_json_is_byte_identical(self, capsys):
+        assert main(["metrics", *FAST, "deterministic=true"]) == 0
+        first = capsys.readouterr().out
+        assert main(["metrics", *FAST, "deterministic=true"]) == 0
+        assert capsys.readouterr().out == first
+        assert "wall_time_seconds" not in first
+
+    def test_text_format(self, capsys):
+        assert main(["metrics", *FAST, "format=text"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.kernel.events_processed" in out
+        assert "seed" in out
+
+    def test_json_out_file(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(["metrics", *FAST, f"out={path}"]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["bt.swarm.completions"]["value"] == 2
+
+    def test_csv_out_file(self, tmp_path):
+        path = tmp_path / "run.csv"
+        assert main(["metrics", *FAST, f"out={path}", "format=csv"]) == 0
+        lines = path.read_text().splitlines()
+        assert lines[0] == "metric,kind,field,value"
+        assert any(line.startswith("net.tcp.segments_sent,") for line in lines)
+
+    def test_csv_without_out_rejected(self, capsys):
+        assert main(["metrics", "format=csv"]) == 2
+        assert "requires out=" in capsys.readouterr().err
+
+    def test_unknown_format_rejected(self, capsys):
+        assert main(["metrics", *FAST, "format=xml"]) == 2
+        assert "unknown format" in capsys.readouterr().err
+
+    def test_bad_override_rejected(self, capsys):
+        assert main(["metrics", "bogus_param=1"]) == 2
+        assert "bad override" in capsys.readouterr().err

@@ -7,8 +7,17 @@ randomization would expose any accidental dependence on set/dict hash
 order. Each subprocess gets a different PYTHONHASHSEED.
 """
 
+import pathlib
 import subprocess
 import sys
+
+import repro
+
+#: Directory containing the ``repro`` package — derived from the
+#: imported package itself so the stripped child environment can import
+#: it whether the package is installed or running in-tree. (The env is
+#: deliberately minimal: only PYTHONHASHSEED may vary between children.)
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parent.parent)
 
 SCRIPT = """
 from repro.bittorrent import Swarm, SwarmConfig
@@ -28,7 +37,11 @@ def run_once(hash_seed: str) -> str:
         capture_output=True,
         text=True,
         timeout=300,
-        env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": SRC_DIR,
+        },
     )
     assert result.returncode == 0, result.stderr
     return result.stdout.strip()

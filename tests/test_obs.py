@@ -1,0 +1,332 @@
+"""Tests for the unified observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    BYTES_EDGES,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    diff_snapshots,
+    topology_fingerprint,
+)
+from repro.sim import Simulator
+from repro.topology.spec import TopologySpec
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("sim.kernel.test")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_peak(self):
+        g = MetricsRegistry().gauge("net.ipfw.rules")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+        assert g.peak == 10
+
+    def test_inc_dec(self):
+        g = MetricsRegistry().gauge("x")
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 3
+        assert g.peak == 5  # dec does not move the peak
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = MetricsRegistry().histogram("h", edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 100.0, 1e6):
+            h.observe(v)
+        # <=1 -> bucket 0 (twice: 0.5 and 1.0); <=10 -> bucket 1;
+        # <=100 -> bucket 2; overflow -> bucket 3.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.5 + 1.0 + 5.0 + 100.0 + 1e6)
+        assert h.min == 0.5 and h.max == 1e6
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("h", edges=(2.0, 1.0))
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("h", edges=())
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.pipe.packets_out")
+        b = reg.counter("net.pipe.packets_out")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+
+    def test_histogram_edge_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        reg.histogram("h", edges=(1.0, 2.0))  # same edges: fine
+        with pytest.raises(ObservabilityError):
+            reg.histogram("h", edges=BYTES_EDGES)
+
+    def test_names_sorted_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+
+    def test_snapshot_sorted_and_excludes_wall(self):
+        reg = MetricsRegistry()
+        reg.counter("z.deterministic").inc(3)
+        reg.counter("a.wall", wall=True).inc(7)
+        snap = reg.snapshot()
+        assert list(snap) == ["z.deterministic"]
+        full = reg.snapshot(include_wall=True)
+        assert list(full) == ["a.wall", "z.deterministic"]
+        assert full["a.wall"]["value"] == 7
+
+    def test_diff_snapshots(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        h = reg.histogram("h", edges=(1.0,))
+        c.inc(2)
+        h.observe(0.5)
+        before = reg.snapshot()
+        c.inc(5)
+        h.observe(2.0)
+        reg.counter("new").inc(1)  # appears only in `after`
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["c"]["value"] == 5
+        assert delta["new"]["value"] == 1
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["counts"] == [0, 1]  # one overflow observation
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        c1 = NULL_REGISTRY.counter("a")
+        c2 = NULL_REGISTRY.counter("b")
+        assert c1 is c2  # one shared singleton, regardless of name
+
+    def test_no_side_effects(self):
+        NULL_REGISTRY.counter("a").inc(10)
+        NULL_REGISTRY.gauge("b").set(5)
+        NULL_REGISTRY.histogram("c").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.snapshot(include_wall=True) == {}
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.names() == []
+        assert not NULL_REGISTRY.enabled
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_keyed_to_sim_time(self):
+        sim = Simulator(seed=1)
+        spans = []
+        span = sim.tracer.begin("phase", label="warmup")
+        sim.schedule(5.0, lambda: spans.append(sim.tracer.end(span)))
+        sim.run()
+        (s,) = spans
+        assert s.start == 0.0 and s.end == 5.0 and s.duration == 5.0
+        assert s.fields == {"label": "warmup"}
+
+    def test_nesting_depth_and_parent(self):
+        t = Tracer(lambda: 0.0)
+        outer = t.begin("outer")
+        inner = t.begin("inner")
+        assert inner.depth == 1 and inner.parent is outer
+        assert t.depth == 2 and t.active is inner
+        t.end(inner)
+        t.end(outer)
+        assert [s.name for s in t.finished] == ["inner", "outer"]
+        # Export order is begin order, not close order.
+        assert [s["name"] for s in t.as_list()] == ["outer", "inner"]
+
+    def test_ending_outer_closes_inner(self):
+        t = Tracer(lambda: 1.5)
+        outer = t.begin("outer")
+        inner = t.begin("inner")
+        t.end(outer)
+        assert inner.end == 1.5 and outer.end == 1.5
+        assert t.depth == 0
+
+    def test_double_end_raises(self):
+        t = Tracer(lambda: 0.0)
+        s = t.begin("s")
+        t.end(s)
+        with pytest.raises(ObservabilityError):
+            t.end(s)
+
+    def test_context_manager_and_select(self):
+        now = [0.0]
+        t = Tracer(lambda: now[0])
+        with t.span("a"):
+            now[0] = 2.0
+        with t.span("b"):
+            now[0] = 3.0
+        assert len(t) == 2
+        assert [s.name for s in t.select("a")] == ["a"]
+        assert t.select("a")[0].duration == 2.0
+
+    def test_null_tracer_noop(self):
+        t = NullTracer()
+        with t.span("x") as s:
+            s.annotate(k=1)
+        assert t.begin("y") is t.begin("z")
+        assert t.as_list() == [] and len(t) == 0
+        assert NULL_TRACER.select() == []
+        assert not NULL_TRACER.enabled
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+
+class TestManifest:
+    def test_from_sim(self):
+        sim = Simulator(seed=7)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manifest = sim.manifest(note="unit")
+        assert manifest.seed == 7
+        assert manifest.sim_time == 1.0
+        assert manifest.events_processed == 1
+        assert manifest.extra == {"note": "unit"}
+
+    def test_deterministic_dict_drops_host_fields(self):
+        m = RunManifest.from_sim(Simulator(seed=0), wall_time_seconds=1.23)
+        full = m.as_dict()
+        det = m.as_dict(deterministic_only=True)
+        assert "wall_time_seconds" in full and "python_version" in full
+        assert "wall_time_seconds" not in det and "python_version" not in det
+
+    def test_topology_fingerprint_stable_and_sensitive(self):
+        def make(count):
+            spec = TopologySpec(name="t")
+            spec.add_group("g", "10.0.0.0/24", count, latency=0.03)
+            return spec
+
+        assert topology_fingerprint(make(5)) == topology_fingerprint(make(5))
+        assert topology_fingerprint(make(5)) != topology_fingerprint(make(6))
+
+
+# ----------------------------------------------------------------------
+# Kernel integration + determinism guard
+# ----------------------------------------------------------------------
+
+
+class TestKernelIntegration:
+    def test_kernel_metrics_track_events(self):
+        sim = Simulator(seed=0)
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        snap = sim.metrics.snapshot()
+        assert snap["sim.kernel.events_processed"]["value"] == 5
+        assert snap["sim.kernel.runs"]["value"] == 1
+        assert snap["sim.kernel.queue_depth"]["value"] == 0
+
+    def test_observe_false_is_noop(self):
+        sim = Simulator(seed=0, observe=False)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1  # legacy counter still works
+        assert sim.metrics.snapshot() == {}
+        assert sim.metrics is NULL_REGISTRY
+        assert sim.tracer.as_list() == []
+
+    def test_callback_profiling_is_wall_only(self):
+        sim = Simulator(seed=0)
+        sim.profile_callbacks = True
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert "sim.kernel.callback_seconds" not in sim.metrics.snapshot()
+        full = sim.metrics.snapshot(include_wall=True)
+        assert full["sim.kernel.callback_seconds"]["count"] == 1
+
+
+def _run_swarm(seed):
+    from repro.bittorrent import Swarm, SwarmConfig
+    from repro.units import MB
+
+    swarm = Swarm(
+        SwarmConfig(
+            leechers=3, seeders=1, file_size=512 * 1024,
+            stagger=1.0, num_pnodes=2, seed=seed,
+        )
+    )
+    swarm.run(max_time=20000)
+    return swarm
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_snapshots_byte_identical(self):
+        a, b = _run_swarm(5), _run_swarm(5)
+        ja = json.dumps(a.metrics_snapshot(), sort_keys=True)
+        jb = json.dumps(b.metrics_snapshot(), sort_keys=True)
+        assert ja == jb
+        # Spans too: keyed to sim-time, hence reproducible.
+        assert json.dumps(a.sim.tracer.as_list(), sort_keys=True) == json.dumps(
+            b.sim.tracer.as_list(), sort_keys=True
+        )
+
+    def test_snapshot_covers_every_layer(self):
+        snap = _run_swarm(5).metrics_snapshot()
+        for required in (
+            "sim.kernel.events_processed",
+            "net.ipfw.rules_scanned_total",
+            "net.pipe.packets_out",
+            "net.tcp.segments_sent",
+            "bt.swarm.completions",
+        ):
+            assert required in snap, required
+        assert snap["bt.swarm.completions"]["value"] == 3
+
+    def test_manifest_matches_run(self):
+        swarm = _run_swarm(9)
+        manifest = swarm.manifest()
+        assert manifest.seed == 9
+        assert manifest.events_processed == swarm.sim.events_processed
+        assert manifest.topology_hash == topology_fingerprint(swarm.spec)

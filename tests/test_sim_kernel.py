@@ -112,6 +112,37 @@ class TestSimulator:
         sim.run(until=7.0)
         assert sim.now == 7.0
 
+    def test_run_until_advances_clock_when_queue_drains(self):
+        # Regression guard for the while/else clock-advance path: the
+        # queue drains *before* the horizon, and the clock must still
+        # land exactly on `until` (not on the last event's time).
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 0
+
+    def test_run_until_clock_exact_on_early_stop(self):
+        # Early stop (pending event beyond the horizon): clock must be
+        # exactly `until`, bit-for-bit, with the future event intact.
+        sim = Simulator()
+        sim.schedule(0.3, lambda: None)
+        sim.schedule(9.7, lambda: None)
+        until = 0.1 + 0.2  # deliberately not representable as a clean float
+        sim.run(until=until)
+        assert sim.now == until
+        assert sim.pending == 1
+
+    def test_run_until_in_past_does_not_rewind_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        sim.run(until=2.0)  # horizon already passed: no-op, no rewind
+        assert sim.now == 5.0
+
     def test_cancel_prevents_firing(self):
         sim = Simulator()
         fired = []
