@@ -3,7 +3,8 @@
 Runs one of the paper's experiments and prints its report. ``list``
 shows all known ids; ``all`` runs everything (scaled defaults);
 ``metrics`` runs a quickstart-sized swarm and dumps the run manifest
-plus the full platform metrics snapshot (JSON by default).
+plus the full platform metrics snapshot (JSON by default); ``sweep``
+fans an experiment's parameter grid out over the parallel runtime.
 
 Examples::
 
@@ -14,6 +15,9 @@ Examples::
     python -m repro metrics
     python -m repro metrics seed=7 leechers=6 format=text
     python -m repro metrics out=run.json deterministic=true
+    python -m repro sweep fig6 --parallel 4 --out sweep.json
+    python -m repro sweep fig6 --parallel 2 rule_count=0,10000,20000
+    python -m repro sweep fig10 --replications 3 --resume --checkpoint ck.jsonl
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import sys
 import time
 from typing import Any, Dict, List
 
-from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments import EXPERIMENTS, RunRequest, get_experiment
 
 
 def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
@@ -55,12 +59,134 @@ def run_one(experiment_id: str, overrides: Dict[str, Any]) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(f"== {entry.id}: {entry.title} ==")
+    overrides = dict(overrides)
+    seed = int(overrides.pop("seed", 0))
+    request = RunRequest.make(entry.id, overrides, seed=seed)
     start = time.perf_counter()
-    result = entry.run(**overrides)
+    result = entry.execute(request)
     elapsed = time.perf_counter() - start
-    print(entry.report(result))
+    print(result.report)
     print(f"[{elapsed:.1f}s wall]")
     return 0
+
+
+def run_sweep(argv: List[str]) -> int:
+    """``python -m repro sweep <id> [--parallel N] [--resume] ...``.
+
+    Expands the experiment's default grid (or ``key=v1,v2,...``
+    overrides) into an :class:`~repro.runtime.plan.ExecutionPlan` and
+    executes it on the parallel, fault-tolerant runtime. The
+    aggregated JSON on stdout (or ``--out``) is deterministic:
+    byte-identical for any ``--parallel`` value.
+    """
+    from repro.analysis.export import sweep_json, write_sweep_json
+    from repro.runtime import ExecutionPlan, execute_plan
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run an experiment sweep on the parallel runtime.",
+    )
+    parser.add_argument("experiment", help="experiment id (see 'list')")
+    parser.add_argument(
+        "overrides",
+        nargs="*",
+        help="key=value point params; comma-separated values sweep that key",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1,
+        help="worker processes (0 = inline; default 1)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--replications", type=int, default=1,
+        help="replications per grid point (derived child seeds)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per point before it is recorded as failed",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint path (incremental; enables --resume)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip points already in the checkpoint file",
+    )
+    parser.add_argument("--out", default=None, help="write aggregated JSON here")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="include non-deterministic fields (wall clock, attempts, "
+        "runtime metrics) in the aggregate",
+    )
+    args = parser.parse_intermixed_args(argv)
+
+    try:
+        entry = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    # Overrides: comma-separated values become grid axes, scalars are
+    # fixed params; both replace the entry's defaults key-by-key.
+    grid = entry.sweep_grid_dict
+    base = entry.sweep_base_dict
+    for pair in args.overrides:
+        if "=" not in pair:
+            raise SystemExit(f"override {pair!r} is not key=value")
+        key, _, raw = pair.partition("=")
+        if "," in raw:
+            values = tuple(_parse_overrides([f"x={v}"])["x"] for v in raw.split(","))
+            grid[key] = values
+            base.pop(key, None)
+        else:
+            base[key] = _parse_overrides([pair])[key]
+            grid.pop(key, None)
+
+    plan = ExecutionPlan.build(
+        entry.id,
+        grid=grid,
+        base_params=base,
+        replications=args.replications,
+        base_seed=args.seed,
+    )
+    print(
+        f"== sweep {entry.id}: {len(plan)} points "
+        f"({args.parallel or 'inline'} workers) ==",
+        file=sys.stderr,
+    )
+    outcome = execute_plan(
+        plan,
+        parallel=args.parallel,
+        runner=_sweep_point_runner,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    deterministic = not args.stats
+    if args.out is not None:
+        write_sweep_json(args.out, outcome, deterministic_only=deterministic)
+    else:
+        print(sweep_json(outcome, deterministic_only=deterministic))
+    skipped = f", {outcome.resumed_points} resumed" if outcome.resumed_points else ""
+    print(
+        f"[{len(outcome.completed)}/{len(plan)} points ok, "
+        f"{len(outcome.failed)} failed, {outcome.retried} retries{skipped}, "
+        f"{outcome.wall_time_seconds:.1f}s wall]",
+        file=sys.stderr,
+    )
+    return 0 if not outcome.failed else 1
+
+
+def _sweep_point_runner(request):
+    """Module-level (spawn-picklable) runner: one sweep point through
+    the registry entry's per-point entry."""
+    return get_experiment(request.experiment_id).point_runner(request)
 
 
 def run_metrics(overrides: Dict[str, Any]) -> int:
@@ -137,13 +263,17 @@ def run_metrics(overrides: Dict[str, Any]) -> int:
 
 
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return run_sweep(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a figure/table of the P2PLab paper.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list', 'all', or 'metrics'",
+        help="experiment id (see 'list'), 'list', 'all', 'metrics', or 'sweep'",
     )
     parser.add_argument(
         "overrides",

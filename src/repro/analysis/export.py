@@ -171,6 +171,28 @@ def write_metrics_json(
     return path
 
 
+def sweep_json(
+    outcome: Any, deterministic_only: bool = True, indent: Optional[int] = 2
+) -> str:
+    """Serialize a :class:`repro.runtime.aggregate.SweepOutcome`'s
+    aggregate document with sorted keys — the same stable-bytes
+    convention as :func:`metrics_json`, so two sweeps of the same plan
+    diff clean regardless of worker count or completion order."""
+    return json.dumps(
+        outcome.document(deterministic_only=deterministic_only),
+        sort_keys=True,
+        indent=indent,
+    )
+
+
+def write_sweep_json(
+    path: PathLike, outcome: Any, deterministic_only: bool = True
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(sweep_json(outcome, deterministic_only) + "\n")
+    return path
+
+
 def write_metrics_csv(path: PathLike, snapshot: Snapshot) -> pathlib.Path:
     """Flat ``metric,kind,field,value`` rows — one line per scalar, so
     histograms expand into count/sum/min/max plus one ``bucket_le_X``

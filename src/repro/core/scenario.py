@@ -1,0 +1,47 @@
+"""ScenarioSpec: the testbed knobs every experiment shares.
+
+``core.Experiment`` and ``bittorrent.SwarmConfig`` used to duplicate
+the same cluster parameters (``seed``, ``num_pnodes``, placement, CPU
+enforcement, the TCP ACK model), forcing examples to re-specify them
+twice whenever an experiment and a swarm ran under identical
+conditions. :class:`ScenarioSpec` is the single home for those knobs:
+
+* ``Experiment(name, topo, scenario=spec)`` consumes one directly;
+* ``SwarmConfig.from_scenario(spec, ...)`` stamps one onto a swarm;
+* ``Swarm.from_experiment(exp, ...)`` reuses a running experiment's
+  scenario so the swarm sees the *same* emulated cluster parameters.
+
+Frozen and hashable, so it can ride inside run requests and
+checkpoint keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.virt.deployment import PLACEMENT_BLOCK, Testbed
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Shared emulated-cluster parameters of one scenario."""
+
+    seed: int = 0
+    num_pnodes: int = 2
+    placement: str = PLACEMENT_BLOCK
+    enforce_cpu: bool = False
+    tcp_explicit_acks: bool = False
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def make_testbed(self) -> Testbed:
+        """Build the emulated physical cluster this scenario describes."""
+        return Testbed(
+            num_pnodes=self.num_pnodes,
+            seed=self.seed,
+            enforce_cpu=self.enforce_cpu,
+            tcp_explicit_acks=self.tcp_explicit_acks,
+        )

@@ -22,6 +22,14 @@ fig11     completion count over time for the same run
 ========  ==========================================================
 """
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.api import RunRequest, RunResult, make_execute
+from repro.experiments.registry import EXPERIMENTS, ExperimentEntry, get_experiment
 
-__all__ = ["EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "RunRequest",
+    "RunResult",
+    "get_experiment",
+    "make_execute",
+]

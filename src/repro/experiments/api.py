@@ -1,0 +1,242 @@
+"""The unified experiment protocol: ``RunRequest`` → ``RunResult``.
+
+Historically every experiment module exposed its own ``run_figN(...)``
+signature and the registry stored bare callables, which made it
+impossible to drive experiments generically (sweeps, parallel
+execution, checkpointing). This module defines the one contract every
+entry point now speaks:
+
+* :class:`RunRequest` — *what* to run: experiment id, parameter dict,
+  seed and replication index. Frozen, hashable by its :attr:`key`,
+  and JSON-round-trippable, so a request can cross process boundaries
+  and name a checkpoint line.
+* :class:`RunResult` — *what happened*: the request echoed back, a
+  JSON-serializable ``artifacts`` dict of extracted metrics, the
+  rendered report, status/error, and (in-process only) the rich
+  result object.
+
+Experiment modules keep their legacy ``run_figN(**kwargs)`` functions
+as thin shims; the canonical entry point is now a module-level
+``run(request: RunRequest) -> RunResult``. :func:`make_execute` builds
+such an entry point from a legacy ``(run, report)`` pair for modules
+that have no bespoke artifact extraction (the ablations).
+
+The :mod:`repro.runtime` execution engine consumes exactly this
+protocol — see DESIGN.md, "The RunRequest/RunResult contract".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+#: Result statuses.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical (sorted, tuple-ized) form of a parameter mapping."""
+    frozen = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One point of work: run ``experiment_id`` with ``params`` at ``seed``.
+
+    ``replication`` distinguishes repeated runs of the same parameter
+    point under different derived seeds (see
+    :meth:`repro.runtime.plan.ExecutionPlan.build`).
+    """
+
+    experiment_id: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+    replication: int = 0
+
+    @classmethod
+    def make(
+        cls,
+        experiment_id: str,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        replication: int = 0,
+    ) -> "RunRequest":
+        return cls(
+            experiment_id=experiment_id,
+            params=_freeze_params(params or {}),
+            seed=seed,
+            replication=replication,
+        )
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameter dict to splat into a legacy run function."""
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        """Stable identity of this point — names its checkpoint line.
+
+        Deterministic across interpreter runs and ``PYTHONHASHSEED``
+        values (plain JSON of canonicalized fields, no ``hash()``).
+        """
+        return json.dumps(
+            [self.experiment_id, list(list(p) for p in self.params),
+             self.seed, self.replication],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "params": self.kwargs,
+            "seed": self.seed,
+            "replication": self.replication,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunRequest":
+        return cls.make(
+            doc["experiment_id"],
+            doc.get("params") or {},
+            seed=int(doc.get("seed", 0)),
+            replication=int(doc.get("replication", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of executing one :class:`RunRequest`.
+
+    ``artifacts`` is the JSON-serializable face of the result (scalar
+    metrics a sweep aggregates); ``value`` is the rich in-process
+    result object (dropped when a result crosses a process boundary or
+    is checkpointed).
+    """
+
+    request: RunRequest
+    status: str = STATUS_OK
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    report: str = ""
+    error: Optional[str] = None
+    attempts: int = 1
+    value: Any = None
+
+    @classmethod
+    def ok(
+        cls,
+        request: RunRequest,
+        value: Any = None,
+        artifacts: Optional[Dict[str, Any]] = None,
+        report: str = "",
+    ) -> "RunResult":
+        return cls(
+            request=request,
+            status=STATUS_OK,
+            artifacts=dict(artifacts or {}),
+            report=report,
+            value=value,
+        )
+
+    @classmethod
+    def failed(
+        cls, request: RunRequest, error: str, attempts: int = 1
+    ) -> "RunResult":
+        return cls(
+            request=request,
+            status=STATUS_FAILED,
+            error=error,
+            attempts=attempts,
+        )
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def with_attempts(self, attempts: int) -> "RunResult":
+        return dataclasses.replace(self, attempts=attempts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Serializable form (drops :attr:`value`) — the checkpoint line."""
+        return {
+            "request": self.request.as_dict(),
+            "status": self.status,
+            "artifacts": self.artifacts,
+            "report": self.report,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            request=RunRequest.from_dict(doc["request"]),
+            status=doc.get("status", STATUS_OK),
+            artifacts=dict(doc.get("artifacts") or {}),
+            report=doc.get("report", ""),
+            error=doc.get("error"),
+            attempts=int(doc.get("attempts", 1)),
+        )
+
+
+#: The unified entry-point signature.
+Execute = Callable[[RunRequest], RunResult]
+
+
+def default_artifacts(value: Any) -> Dict[str, Any]:
+    """Best-effort artifact extraction for legacy result objects:
+    every scalar (int/float/str/bool) dataclass field."""
+    artifacts: Dict[str, Any] = {}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        for f in dataclasses.fields(value):
+            v = getattr(value, f.name)
+            if isinstance(v, (int, float, str, bool)):
+                artifacts[f.name] = v
+    return artifacts
+
+
+def make_execute(
+    run: Callable[..., Any],
+    report: Callable[[Any], str],
+    artifacts: Optional[Callable[[Any], Dict[str, Any]]] = None,
+) -> Execute:
+    """Adapt a legacy ``(run_figN, print_report)`` pair to the protocol.
+
+    The request's ``seed`` is injected as the ``seed=`` kwarg when the
+    run function accepts one (deterministic CPU-model experiments take
+    no seed); explicit ``params['seed']`` overrides win for backwards
+    compatibility.
+    """
+    extract = artifacts if artifacts is not None else default_artifacts
+    try:
+        sig = inspect.signature(run)
+        takes_seed = "seed" in sig.parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in sig.parameters.values()
+        )
+    except (TypeError, ValueError):  # builtins / C callables
+        takes_seed = True
+
+    def execute(request: RunRequest) -> RunResult:
+        kwargs = request.kwargs
+        if takes_seed:
+            kwargs.setdefault("seed", request.seed)
+        value = run(**kwargs)
+        return RunResult.ok(
+            request,
+            value=value,
+            artifacts=extract(value),
+            report=report(value),
+        )
+
+    return execute

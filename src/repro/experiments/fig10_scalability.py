@@ -23,6 +23,7 @@ from repro.analysis.tables import Table
 from repro.bittorrent.swarm import Swarm, SwarmConfig
 from repro.core.collector import completion_curve
 from repro.core.report import sample_progress
+from repro.experiments.api import RunRequest, RunResult
 from repro.units import KB, MB
 
 Series = List[Tuple[float, float]]
@@ -117,3 +118,47 @@ def print_report(result: Fig10Result) -> str:
     table.add_row("completion ramp steepness", result.ramp_steepness)
     table.add_row("selected clients plotted", len(result.selected_progress))
     return table.render()
+
+
+# -- unified entry points (RunRequest -> RunResult) --------------------
+
+
+def _artifacts(result: Fig10Result) -> dict:
+    return {
+        "clients": result.clients,
+        "pnodes": result.pnodes,
+        "first_completion": result.first_completion,
+        "median_completion": result.median_completion,
+        "last_completion": result.last_completion,
+        "bulk_window": result.bulk_window,
+        "ramp_steepness": result.ramp_steepness,
+    }
+
+
+def run(request: RunRequest) -> RunResult:
+    """Whole-figure entry point under the unified protocol."""
+    kwargs = request.kwargs
+    kwargs.setdefault("seed", request.seed)
+    result = run_fig10(**kwargs)
+    return RunResult.ok(
+        request, value=result, artifacts=_artifacts(result), report=print_report(result)
+    )
+
+
+def run_point(request: RunRequest) -> RunResult:
+    """One sweep point: the scalability run at a single ``scale``
+    (fraction of the paper's 5754 clients); the aggregate shows how
+    the completion ramp evolves with swarm size."""
+    params = request.kwargs
+    params.setdefault("scale", 0.01)
+    result = run_fig10(seed=request.seed, **params)
+    return RunResult.ok(
+        request,
+        value=result,
+        artifacts=_artifacts(result),
+        report=(
+            f"scale={params['scale']}: {result.clients} clients on "
+            f"{result.pnodes} pnodes, last completion "
+            f"{result.last_completion:.0f}s, steepness {result.ramp_steepness:.2f}"
+        ),
+    )

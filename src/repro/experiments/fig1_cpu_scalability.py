@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.tables import Table
+from repro.experiments.api import make_execute
 from repro.experiments.osprofiles import PROFILES
 from repro.hostos.machine import Machine
 from repro.hostos.workloads import ackermann_task
@@ -67,3 +68,19 @@ def print_report(result: Fig1Result) -> str:
     for i, n in enumerate(result.counts):
         table.add_row(n, *(result.curves[label][i] for label in result.curves))
     return table.render()
+
+
+# -- unified entry point (RunRequest -> RunResult) ---------------------
+
+def _artifacts(result: Fig1Result) -> dict:
+    flat = [v for series in result.curves.values() for v in series]
+    return {
+        "profiles": len(result.curves),
+        "max_count": max(result.counts),
+        "exec_time_min": min(flat),
+        "exec_time_max": max(flat),
+    }
+
+
+#: Canonical entry point: ``run(RunRequest) -> RunResult``.
+run = make_execute(run_fig1, print_report, artifacts=_artifacts)

@@ -4,14 +4,26 @@ Paper setup: ping between two nodes while the first node's firewall
 holds a varying number of rules; "latency increases nearly linearly
 with the number of rules, because the rules are evaluated linearly by
 the firewall" — about 5 ms at 50 000 rules.
+
+This module measures **both** cost models of the standard
+:class:`~repro.net.ipfw.Ipfw` firewall: the linear scan (IPFW
+reality, the figure's subject) and the hash-indexed counterfactual
+(``Ipfw(name, indexed=True)`` — what the paper says IPFW cannot do).
+The report shows the two paths side by side; the indexed curve is
+flat, which is exactly why the rule count is P2PLab's scalability
+limit.
+
+Sweep support: ``python -m repro sweep fig6`` fans one
+:func:`run_point` per rule count out over the runtime's worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table
+from repro.experiments.api import RunRequest, RunResult
 from repro.net.addr import IPv4Network
 from repro.net.ipfw import ACTION_COUNT
 from repro.net.ping import ping
@@ -19,15 +31,21 @@ from repro.virt.deployment import Testbed
 
 DEFAULT_RULE_COUNTS: Tuple[int, ...] = (0, 10000, 20000, 30000, 40000, 50000)
 
-#: Filler rules match a prefix no experiment traffic uses, so they are
-#: scanned but never terminate evaluation — like the paper's padding.
+#: Filler rules match exact host addresses in a prefix no experiment
+#: traffic uses, so a linear walk scans past every one of them (like
+#: the paper's padding) while a hash index skips them entirely.
 FILLER_PREFIX = IPv4Network("172.16.0.0/16")
+
+Rtt = Tuple[float, float, float]  # (avg, min, max) seconds
 
 
 @dataclass(frozen=True)
 class Fig6Result:
     rule_counts: Tuple[int, ...]
-    rtts: Tuple[Tuple[float, float, float], ...]  # (avg, min, max) seconds
+    rtts: Tuple[Rtt, ...]  # linear-scan path
+    #: Same probes against the hash-indexed cost model (flat curve);
+    #: ``None`` when the comparison was disabled.
+    indexed_rtts: Optional[Tuple[Rtt, ...]] = None
 
     def slope_us_per_rule(self) -> float:
         """Least-squares slope of avg RTT vs rule count, in us/rule."""
@@ -41,39 +59,122 @@ class Fig6Result:
         return (num / den) * 1e6 if den else 0.0
 
 
+def measure_rtt(
+    rule_count: int,
+    pings_per_point: int = 5,
+    seed: int = 0,
+    indexed: bool = False,
+) -> Rtt:
+    """One figure point: RTT through a firewall holding ``rule_count``
+    filler rules, under the selected cost model."""
+    testbed = Testbed(num_pnodes=2, seed=seed)
+    sim = testbed.sim
+    node1, node2 = testbed.pnodes
+    node1.stack.fw.indexed = indexed
+    # Distinct host addresses keep each rule hash-indexable; wrap
+    # before the /16 runs out of hosts (never reached in practice).
+    span = FILLER_PREFIX.num_addresses - 2
+    for i in range(rule_count):
+        node1.stack.fw.add(ACTION_COUNT, src=FILLER_PREFIX.host(1 + i % span))
+    probe = ping(
+        sim,
+        node1.stack,
+        node1.admin_address,
+        node2.admin_address,
+        count=pings_per_point,
+        interval=0.2,
+    )
+    sim.run()
+    res = probe.result
+    return (res.avg, res.min, res.max)
+
+
 def run_fig6(
     rule_counts: Sequence[int] = DEFAULT_RULE_COUNTS,
     pings_per_point: int = 5,
     seed: int = 0,
+    compare_indexed: bool = True,
 ) -> Fig6Result:
-    rtts: List[Tuple[float, float, float]] = []
+    rtts: List[Rtt] = []
+    indexed: List[Rtt] = []
     for count in rule_counts:
-        testbed = Testbed(num_pnodes=2, seed=seed)
-        sim = testbed.sim
-        node1, node2 = testbed.pnodes
-        for _ in range(count):
-            node1.stack.fw.add(ACTION_COUNT, src=FILLER_PREFIX)
-        probe = ping(
-            sim,
-            node1.stack,
-            node1.admin_address,
-            node2.admin_address,
-            count=pings_per_point,
-            interval=0.2,
-        )
-        sim.run()
-        res = probe.result
-        rtts.append((res.avg, res.min, res.max))
-    return Fig6Result(rule_counts=tuple(rule_counts), rtts=tuple(rtts))
+        rtts.append(measure_rtt(count, pings_per_point, seed, indexed=False))
+        if compare_indexed:
+            indexed.append(measure_rtt(count, pings_per_point, seed, indexed=True))
+    return Fig6Result(
+        rule_counts=tuple(rule_counts),
+        rtts=tuple(rtts),
+        indexed_rtts=tuple(indexed) if compare_indexed else None,
+    )
 
 
 def print_report(result: Fig6Result) -> str:
+    headers = ["rules", "rtt avg (ms)", "min", "max"]
+    if result.indexed_rtts is not None:
+        headers.append("indexed avg (ms)")
     table = Table(
-        ["rules", "rtt avg (ms)", "min", "max"],
+        headers,
         title="Figure 6: RTT vs number of firewall rules (linear scan)",
     )
-    for count, (avg, lo, hi) in zip(result.rule_counts, result.rtts):
-        table.add_row(count, avg * 1e3, lo * 1e3, hi * 1e3)
+    for i, (count, (avg, lo, hi)) in enumerate(zip(result.rule_counts, result.rtts)):
+        row = [count, avg * 1e3, lo * 1e3, hi * 1e3]
+        if result.indexed_rtts is not None:
+            row.append(result.indexed_rtts[i][0] * 1e3)
+        table.add_row(*row)
     lines = [table.render()]
     lines.append(f"slope: {result.slope_us_per_rule():.4f} us/rule (paper: ~0.1 us/rule)")
+    if result.indexed_rtts is not None:
+        flat = max(r[0] for r in result.indexed_rtts) - min(
+            r[0] for r in result.indexed_rtts
+        )
+        lines.append(
+            f"hash-indexed path: flat within {flat * 1e3:.3f} ms — the lookup "
+            "IPFW cannot do (paper, 'Network Emulation')"
+        )
     return "\n".join(lines)
+
+
+# -- unified entry points (RunRequest -> RunResult) --------------------
+
+
+def _artifacts(result: Fig6Result) -> dict:
+    doc = {
+        "slope_us_per_rule": result.slope_us_per_rule(),
+        "max_rtt_avg": max(r[0] for r in result.rtts),
+    }
+    if result.indexed_rtts is not None:
+        doc["max_rtt_avg_indexed"] = max(r[0] for r in result.indexed_rtts)
+    return doc
+
+
+def run(request: RunRequest) -> RunResult:
+    """Whole-figure entry point under the unified protocol."""
+    kwargs = request.kwargs
+    kwargs.setdefault("seed", request.seed)
+    result = run_fig6(**kwargs)
+    return RunResult.ok(
+        request, value=result, artifacts=_artifacts(result), report=print_report(result)
+    )
+
+
+def run_point(request: RunRequest) -> RunResult:
+    """One sweep point: a single rule count, both firewall paths."""
+    params = request.kwargs
+    rule_count = int(params.get("rule_count", 0))
+    pings = int(params.get("pings_per_point", 5))
+    avg, lo, hi = measure_rtt(rule_count, pings, request.seed, indexed=False)
+    iavg, ilo, ihi = measure_rtt(rule_count, pings, request.seed, indexed=True)
+    return RunResult.ok(
+        request,
+        artifacts={
+            "rule_count": rule_count,
+            "rtt_avg_ms": avg * 1e3,
+            "rtt_min_ms": lo * 1e3,
+            "rtt_max_ms": hi * 1e3,
+            "rtt_avg_indexed_ms": iavg * 1e3,
+        },
+        report=(
+            f"rules={rule_count}: linear {avg * 1e3:.3f} ms, "
+            f"indexed {iavg * 1e3:.3f} ms"
+        ),
+    )

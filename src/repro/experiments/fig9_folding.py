@@ -16,6 +16,7 @@ from repro.analysis.series import relative_gap
 from repro.analysis.tables import Table
 from repro.bittorrent.swarm import Swarm, SwarmConfig
 from repro.core.collector import total_payload_curve
+from repro.experiments.api import RunRequest, RunResult
 from repro.units import MB, gbps
 
 Series = List[Tuple[float, float]]
@@ -91,3 +92,61 @@ def print_report(result: Fig9Result) -> str:
         f"{100 * result.max_relative_gap:.2f}% (paper: 'nearly identical')"
     )
     return "\n".join(lines)
+
+
+# -- unified entry points (RunRequest -> RunResult) --------------------
+
+
+def _artifacts(result: Fig9Result) -> dict:
+    return {
+        "max_relative_gap": result.max_relative_gap,
+        "foldings": len(result.foldings),
+        "last_completion_unfolded": result.last_completions[result.foldings[0]],
+    }
+
+
+def run(request: RunRequest) -> RunResult:
+    """Whole-figure entry point under the unified protocol."""
+    kwargs = request.kwargs
+    kwargs.setdefault("seed", request.seed)
+    result = run_fig9(**kwargs)
+    return RunResult.ok(
+        request, value=result, artifacts=_artifacts(result), report=print_report(result)
+    )
+
+
+def run_point(request: RunRequest) -> RunResult:
+    """One sweep point: the Figure 8 swarm at a single folding
+    (``num_pnodes``); the sweep aggregate then compares final bytes
+    and completion times across foldings."""
+    params = request.kwargs
+    pnodes = int(params.get("num_pnodes", 16))
+    leechers = int(params.get("leechers", 160))
+    seeders = int(params.get("seeders", 4))
+    config = SwarmConfig(
+        leechers=leechers,
+        seeders=seeders,
+        file_size=int(params.get("file_size", 16 * MB)),
+        stagger=float(params.get("stagger", 10.0)),
+        num_pnodes=pnodes,
+        seed=request.seed,
+    )
+    swarm = Swarm(config)
+    swarm.testbed.switch.port_bandwidth = float(
+        params.get("port_bandwidth", gbps(1))
+    )
+    last = swarm.run(max_time=float(params.get("max_time", 20000.0)))
+    curve = total_payload_curve(swarm.sim.trace, bucket=20.0)
+    return RunResult.ok(
+        request,
+        artifacts={
+            "num_pnodes": pnodes,
+            "clients_per_pnode": -(-(leechers + seeders) // pnodes),
+            "last_completion": last,
+            "final_bytes": curve[-1][1] if curve else 0.0,
+        },
+        report=(
+            f"folding {pnodes} pnodes: last completion {last:.0f}s, "
+            f"final bytes {curve[-1][1] if curve else 0.0:.0f}"
+        ),
+    )

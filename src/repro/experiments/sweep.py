@@ -4,15 +4,24 @@ BitTorrent swarm dynamics are chaotic — tiny timing differences change
 which peers trade with whom — so single-run comparisons (e.g. between
 foldings in Figure 9) are meaningful only against the seed-to-seed
 envelope. This module measures that envelope.
+
+Execution rides on :mod:`repro.runtime`: the seed list becomes an
+:class:`~repro.runtime.plan.ExecutionPlan` (one replication per seed)
+and runs through the same fault-tolerant executor the CLI sweeps use.
+``parallel=0`` (default) runs inline exactly as before; ``parallel=N``
+fans seeds out over worker processes — results are identical either
+way because each seed's run is self-contained.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.bittorrent.swarm import Swarm, SwarmConfig
+from repro.errors import ExperimentError
+from repro.experiments.api import RunRequest, RunResult
 
 
 @dataclass(frozen=True)
@@ -46,25 +55,64 @@ class SweepResult:
         return lo <= value <= hi
 
 
+def _make_runner(
+    config: SwarmConfig,
+    metric: Optional[Callable[[Swarm, float], float]],
+    metric_name: str,
+    max_time: float,
+):
+    """Per-point runner: one swarm at ``request.seed``.
+
+    A closure is fine here — the executor's default ``fork`` start
+    method inherits it; only ``mp_context="spawn"`` would need a
+    module-level runner.
+    """
+
+    def runner(request: RunRequest) -> RunResult:
+        swarm = Swarm(replace(config, seed=request.seed))
+        last = swarm.run(max_time=max_time)
+        value = metric(swarm, last) if metric is not None else last
+        return RunResult.ok(
+            request,
+            value=value,
+            artifacts={metric_name: value, "seed": request.seed},
+        )
+
+    return runner
+
+
 def sweep_swarm(
     config: SwarmConfig,
     seeds: Sequence[int],
     metric: Callable[[Swarm, float], float] = None,
     metric_name: str = "last_completion",
     max_time: float = 50000.0,
+    parallel: int = 0,
 ) -> SweepResult:
     """Run the same swarm across seeds, collecting one metric.
 
     The default metric is the last completion time; pass any
     ``metric(swarm, last_completion) -> float`` for others.
+    ``parallel`` is the worker-process count (0 = inline, the
+    historical behaviour).
     """
-    values = []
-    for seed in seeds:
-        swarm = Swarm(replace(config, seed=seed))
-        last = swarm.run(max_time=max_time)
-        values.append(metric(swarm, last) if metric is not None else last)
+    from repro.runtime import ExecutionPlan, execute_plan
+
+    plan = ExecutionPlan.build("sweep_swarm", seeds=list(seeds))
+    outcome = execute_plan(
+        plan,
+        parallel=parallel,
+        runner=_make_runner(config, metric, metric_name, max_time),
+        max_attempts=1,
+    )
+    if outcome.failed:
+        first = outcome.failed[0]
+        raise ExperimentError(
+            f"seed sweep failed at seed {first.request.seed}: {first.error}"
+        )
+    values = [r.artifacts[metric_name] for r in outcome.results]
     return SweepResult(
-        metric=metric_name, seeds=tuple(seeds), values=tuple(values)
+        metric=metric_name, seeds=tuple(int(s) for s in seeds), values=tuple(values)
     )
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.analysis.tables import Table
+from repro.experiments.api import make_execute
 from repro.net.addr import IPv4Address
 from repro.net.ping import ping
 from repro.virt.deployment import Testbed
@@ -65,3 +66,9 @@ def print_report(result: AliasOverheadResult) -> str:
         "(paper: 'no overhead')"
     )
     return "\n".join(lines)
+
+
+# -- unified entry point (RunRequest -> RunResult) ---------------------
+
+#: Canonical entry point: ``run(RunRequest) -> RunResult``.
+run = make_execute(run_alias_overhead, print_report)

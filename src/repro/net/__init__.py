@@ -17,7 +17,7 @@ Models the parts of the network P2PLab controls:
 """
 
 from repro.net.addr import IPv4Address, IPv4Network, ip, network
-from repro.net.ipfw import Firewall, Rule
+from repro.net.ipfw import Firewall, Ipfw, Rule
 from repro.net.ipfw_indexed import IndexedFirewall
 from repro.net.nic import Interface
 from repro.net.packet import Packet
@@ -35,6 +35,7 @@ __all__ = [
     "Packet",
     "DummynetPipe",
     "Firewall",
+    "Ipfw",
     "IndexedFirewall",
     "Rule",
     "Sniffer",

@@ -1,79 +1,25 @@
-"""A hash-indexed rule table — the ablation IPFW cannot do.
+"""Backwards-compat shim: the hash-indexed rule table.
 
-The paper notes: "With IPFW, it is not possible to evaluate the rules
-in a hierarchical way, or with a hash table", making the linear scan
-(Figure 6) the scalability limit. This class implements the
-counterfactual *cost model*: evaluation charges two hash probes plus
-the candidate rules actually examined, instead of the full linear walk
-IPFW pays. (Since :class:`~repro.net.ipfw.Firewall` already uses hash
-indexes internally as a wall-clock shortcut while *charging* linear
-cost, the only difference here is the accounting — which is exactly
-the point of the ablation: same verdicts, different emulated latency.)
+The indexed cost model now lives directly in
+:class:`repro.net.ipfw.Firewall` behind the standard constructor —
+``Ipfw(name, indexed=True)`` — so the ablation no longer needs a
+parallel class. The paper context: "With IPFW, it is not possible to
+evaluate the rules in a hierarchical way, or with a hash table",
+making the linear scan (Figure 6) the scalability limit; ``indexed``
+implements the counterfactual *accounting* (two hash probes plus the
+candidate rules actually examined) while producing identical verdicts.
 
-The ``bench_abl_rule_lookup`` benchmark quantifies what such a firewall
-would have bought P2PLab.
+:class:`IndexedFirewall` remains for existing callers
+(``bench_abl_rule_lookup`` etc.) as a trivial subclass.
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from repro.net.ipfw import (
-    ACTION_ALLOW,
-    ACTION_DENY,
-    ACTION_PIPE,
-    Firewall,
-    Rule,
-    Verdict,
-)
-from repro.net.packet import Packet
-from repro.net.pipe import DummynetPipe
+from repro.net.ipfw import Firewall
 
 
 class IndexedFirewall(Firewall):
-    """Firewall whose *emulated* lookup cost is O(1) per exact rule."""
+    """``Firewall(indexed=True)`` under its historical name."""
 
     def __init__(self, name: str = "ipfw-indexed", metrics=None) -> None:
-        super().__init__(name=name, metrics=metrics)
-
-    def evaluate(self, packet: Packet, direction: str) -> Verdict:
-        if self._dirty:
-            self._refresh_positions()
-        candidates: List[Rule] = []
-        bucket = self._by_src.get(packet.src.value)
-        if bucket is not None:
-            candidates.extend(bucket)
-        bucket = self._by_dst.get(packet.dst.value)
-        if bucket is not None:
-            candidates.extend(bucket)
-        if self._generic:
-            candidates.extend(self._generic)
-        if len(candidates) > 1:
-            positions = self._positions
-            candidates.sort(key=lambda r: positions[id(r)])
-
-        pipes: List[DummynetPipe] = []
-        allowed = True
-        # Two hash probes, then only the candidate rules are charged —
-        # the cost a hash-indexed IPFW would pay.
-        scanned = 2
-        for rule in candidates:
-            scanned += 1
-            if not rule.matches(packet, direction):
-                continue
-            rule.hits += 1
-            action = rule.action
-            if action == ACTION_PIPE:
-                pipes.append(rule.pipe)  # type: ignore[arg-type]
-            elif action == ACTION_ALLOW:
-                break
-            elif action == ACTION_DENY:
-                allowed = False
-                break
-        self.packets_evaluated += 1
-        self.rules_scanned_total += scanned
-        self._m_pkts.inc()
-        self._m_scanned.inc(scanned)
-        if not allowed:
-            self._m_denied.inc()
-        return Verdict(allowed, tuple(pipes), scanned)
+        super().__init__(name=name, metrics=metrics, indexed=True)

@@ -1,0 +1,123 @@
+"""Deterministic aggregation of sweep results.
+
+A :class:`SweepOutcome` collects every point's
+:class:`~repro.experiments.api.RunResult` in *plan order* (never
+completion order) and renders the canonical aggregate document::
+
+    {"manifest": {...}, "sweep": {...}, "points": [...], "summary": {...}}
+
+* ``manifest`` reuses :class:`repro.obs.manifest.RunManifest` — the
+  same provenance record every single-run export carries.
+* ``points`` lists each request (params/seed/replication), its status
+  and its artifacts.
+* ``summary`` has mean/min/max per numeric artifact across completed
+  points.
+
+The document is deterministic by default: wall-clock, attempt counts
+and host fields are excluded unless ``deterministic_only=False``, so
+``--parallel N`` and ``--parallel 1`` serialize byte-identically
+(JSON with sorted keys — the same convention as
+:func:`repro.analysis.export.metrics_json`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.api import RunResult
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import Snapshot
+from repro.runtime.plan import ExecutionPlan
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep execution produced."""
+
+    plan: ExecutionPlan
+    results: List[RunResult]
+    metrics: Snapshot = field(default_factory=dict)
+    wall_time_seconds: Optional[float] = None
+    resumed_points: int = 0
+
+    @property
+    def completed(self) -> List[RunResult]:
+        return [r for r in self.results if r.is_ok]
+
+    @property
+    def failed(self) -> List[RunResult]:
+        return [r for r in self.results if not r.is_ok]
+
+    @property
+    def retried(self) -> int:
+        return sum(max(0, r.attempts - 1) for r in self.results)
+
+    # ------------------------------------------------------------------
+    def manifest(self, deterministic_only: bool = True) -> RunManifest:
+        """Sweep-level provenance via the standard manifest machinery."""
+        from repro import __version__
+
+        return RunManifest(
+            seed=self.plan.base_seed,
+            package_version=__version__,
+            topology_hash=None,
+            sim_time=0.0,
+            wall_time_seconds=None if deterministic_only else self.wall_time_seconds,
+            events_processed=0,
+            events_pending=0,
+            extra={
+                "kind": "sweep",
+                "experiment": self.plan.experiment_id,
+                "points": len(self.plan),
+                "completed": len(self.completed),
+                "failed": len(self.failed),
+            },
+        )
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """mean/min/max per numeric artifact over completed points."""
+        columns: Dict[str, List[float]] = {}
+        for result in self.completed:
+            for name, value in result.artifacts.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                columns.setdefault(name, []).append(float(value))
+        return {
+            name: {
+                "mean": sum(vals) / len(vals),
+                "min": min(vals),
+                "max": max(vals),
+                "count": len(vals),
+            }
+            for name, vals in sorted(columns.items())
+        }
+
+    def document(self, deterministic_only: bool = True) -> Dict[str, Any]:
+        """The canonical aggregate document (see module docstring)."""
+        points: List[Dict[str, Any]] = []
+        for result in self.results:
+            point: Dict[str, Any] = {
+                "request": result.request.as_dict(),
+                "status": result.status,
+                "artifacts": result.artifacts,
+                "error": result.error,
+            }
+            if not deterministic_only:
+                point["attempts"] = result.attempts
+            points.append(point)
+        doc: Dict[str, Any] = {
+            "manifest": self.manifest(deterministic_only).as_dict(deterministic_only),
+            "sweep": self.plan.describe(),
+            "points": points,
+            "summary": self.summary(),
+        }
+        if not deterministic_only:
+            doc["runtime_metrics"] = self.metrics
+            doc["resumed_points"] = self.resumed_points
+        return doc
+
+    def json(self, deterministic_only: bool = True, indent: Optional[int] = 2) -> str:
+        from repro.analysis.export import sweep_json
+
+        return sweep_json(self, deterministic_only=deterministic_only, indent=indent)

@@ -1,0 +1,82 @@
+"""Incremental JSONL checkpointing for sweep execution.
+
+One line per finished point, appended and flushed the moment the
+executor records it::
+
+    {"key": "<request key>", "result": {<RunResult.as_dict()>}}
+
+An interrupted sweep re-run with ``resume=True`` loads the file, skips
+every point whose key is already present, and seeds the aggregate with
+the stored results — no finished work is redone. Keys are the stable
+:attr:`~repro.experiments.api.RunRequest.key`, so a checkpoint written
+by a ``--parallel 8`` run resumes correctly under ``--parallel 1`` and
+vice versa. Unparseable trailing lines (a crash mid-write) are
+ignored, which makes the format append-crash-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, TextIO, Union
+
+from repro.experiments.api import RunResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+class CheckpointWriter:
+    """Append-only JSONL sink; one flushed line per completed point."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[TextIO] = None
+        self.lines_written = 0
+
+    def record(self, result: RunResult) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a")
+        line = json.dumps(
+            {"key": result.request.key, "result": result.as_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, RunResult]:
+    """Load ``key -> RunResult`` from a checkpoint file.
+
+    Missing file → empty dict. Corrupt lines (partial writes from a
+    crash) are skipped; later duplicates of a key win, so a point that
+    was retried across interruptions resolves to its final outcome.
+    """
+    path = pathlib.Path(path)
+    done: Dict[str, RunResult] = {}
+    if not path.exists():
+        return done
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                done[doc["key"]] = RunResult.from_dict(doc["result"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn write — ignore
+    return done

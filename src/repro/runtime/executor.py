@@ -1,0 +1,387 @@
+"""Parallel, fault-tolerant execution of an :class:`ExecutionPlan`.
+
+The engine fans plan points out over a pool of worker *processes*
+(one process per point — each point is a whole emulation run, so
+process startup is noise) with three robustness mechanisms:
+
+* **wall-clock timeouts** — a worker past its per-point deadline is
+  terminated and the point is retried;
+* **crash/exception capture** — a worker that raises, or dies without
+  reporting (segfault, ``os._exit``, OOM-kill), surfaces as a failed
+  attempt instead of hanging the sweep;
+* **bounded retry with exponential backoff** — each point gets up to
+  ``max_attempts`` tries; a point that exhausts them is recorded as
+  ``status="failed"`` and the sweep continues.
+
+Completed points stream into an incremental JSONL checkpoint
+(:mod:`repro.runtime.checkpoint`); re-running with ``resume=True``
+skips them. Because every point's seed is fixed by the plan (not by
+scheduling), results are byte-identical whatever ``parallel`` is —
+including ``parallel=0``, which runs points inline in the calling
+process (no isolation, but convenient under a debugger).
+
+Worker start method defaults to ``fork`` where available (closures in
+custom runners work, module import cost is not repaid per point) and
+``spawn`` elsewhere; pass ``mp_context="spawn"`` explicitly to test
+the pickling path. The engine instruments itself through
+:mod:`repro.obs` metrics (``runtime.points_*``,
+``runtime.workers_active``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.api import RunRequest, RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.aggregate import SweepOutcome
+from repro.runtime.checkpoint import CheckpointWriter, load_checkpoint
+from repro.runtime.plan import ExecutionPlan
+
+#: Environment variable exposing the current attempt number (1-based)
+#: to the code running a point — used by fault-injection tests.
+ATTEMPT_ENV = "REPRO_RUNTIME_ATTEMPT"
+
+Runner = Callable[[RunRequest], RunResult]
+
+
+def registry_runner(request: RunRequest) -> RunResult:
+    """Default runner: resolve the experiment registry entry and
+    execute it through the unified RunRequest→RunResult protocol."""
+    from repro.experiments import get_experiment
+
+    return get_experiment(request.experiment_id).execute(request)
+
+
+def _worker_main(conn: Connection, runner: Runner, request: RunRequest, attempt: int) -> None:
+    """Child-process entry point: run one point, ship the result back."""
+    os.environ[ATTEMPT_ENV] = str(attempt)
+    try:
+        result = runner(request)
+        conn.send(("ok", result.as_dict()))
+    except BaseException as exc:  # noqa: BLE001 — must never escape silently
+        try:
+            conn.send(
+                (
+                    "error",
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+        except Exception:  # conn already broken — parent sees a crash
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Pending:
+    request: RunRequest
+    attempt: int = 1  # the attempt number the *next* launch will be
+    not_before: float = 0.0  # monotonic time gate (retry backoff)
+
+
+@dataclass
+class _Active:
+    request: RunRequest
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    deadline: Optional[float] = None
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+
+    def reap(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+@dataclass
+class _Book:
+    """Mutable execution state shared by the scheduling helpers."""
+
+    results: Dict[str, RunResult] = field(default_factory=dict)
+    pending: List[_Pending] = field(default_factory=list)
+    active: List[_Active] = field(default_factory=list)
+
+
+class SweepExecutor:
+    """Drives one plan to completion; reusable only via :func:`execute_plan`."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        parallel: int = 1,
+        runner: Optional[Runner] = None,
+        timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.05,
+        checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = False,
+        mp_context: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if parallel < 0:
+            raise ValueError("parallel must be >= 0 (0 = inline)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.plan = plan
+        self.parallel = parallel
+        self.runner: Runner = runner if runner is not None else registry_runner
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_completed = m.counter("runtime.points_completed")
+        self._m_failed = m.counter("runtime.points_failed")
+        self._m_retried = m.counter("runtime.points_retried")
+        self._m_timeout = m.counter("runtime.points_timeout")
+        self._m_resumed = m.counter("runtime.points_resumed")
+        self._m_workers = m.gauge("runtime.workers_active")
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepOutcome:
+        started = time.perf_counter()
+        book = _Book()
+        resumed = 0
+
+        if self.checkpoint_path is not None and self.resume:
+            done = load_checkpoint(self.checkpoint_path)
+            for point in self.plan:
+                stored = done.get(point.key)
+                # Only successful points are final; failed ones get a
+                # fresh round of attempts on resume.
+                if stored is not None and stored.is_ok:
+                    book.results[point.key] = stored
+                    resumed += 1
+            self._m_resumed.inc(resumed)
+
+        for point in self.plan:
+            if point.key not in book.results:
+                book.pending.append(_Pending(point))
+
+        writer: Optional[CheckpointWriter] = None
+        if self.checkpoint_path is not None:
+            writer = CheckpointWriter(self.checkpoint_path)
+        try:
+            if self.parallel == 0:
+                self._run_inline(book, writer)
+            else:
+                self._run_pool(book, writer)
+        finally:
+            if writer is not None:
+                writer.close()
+            for active in book.active:  # pragma: no cover - interrupt path
+                active.process.terminate()
+                active.reap()
+
+        ordered = [book.results[p.key] for p in self.plan]
+        return SweepOutcome(
+            plan=self.plan,
+            results=ordered,
+            metrics=self.metrics.snapshot(),
+            wall_time_seconds=time.perf_counter() - started,
+            resumed_points=resumed,
+        )
+
+    # -- inline (parallel=0) -------------------------------------------
+    def _run_inline(self, book: _Book, writer: Optional[CheckpointWriter]) -> None:
+        saved = os.environ.get(ATTEMPT_ENV)
+        try:
+            for item in book.pending:
+                request = item.request
+                last_error = "never attempted"
+                for attempt in range(1, self.max_attempts + 1):
+                    os.environ[ATTEMPT_ENV] = str(attempt)
+                    try:
+                        result = self.runner(request).with_attempts(attempt)
+                    except Exception as exc:  # noqa: BLE001
+                        last_error = f"{type(exc).__name__}: {exc}"
+                        if attempt < self.max_attempts:
+                            self._m_retried.inc()
+                            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                        continue
+                    self._record(book, writer, result)
+                    break
+                else:
+                    self._record(
+                        book,
+                        writer,
+                        RunResult.failed(request, last_error, attempts=self.max_attempts),
+                    )
+            book.pending.clear()
+        finally:
+            if saved is None:
+                os.environ.pop(ATTEMPT_ENV, None)
+            else:
+                os.environ[ATTEMPT_ENV] = saved
+
+    # -- process pool ---------------------------------------------------
+    def _launch(self, book: _Book, item: _Pending) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.runner, item.request, item.attempt),
+            daemon=True,
+            name=f"repro-sweep-{item.request.replication}",
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        book.active.append(
+            _Active(item.request, item.attempt, process, parent_conn, deadline)
+        )
+        self._m_workers.inc()
+
+    def _run_pool(self, book: _Book, writer: Optional[CheckpointWriter]) -> None:
+        while book.pending or book.active:
+            now = time.monotonic()
+            # Launch every ready point up to the concurrency cap.
+            launchable = [
+                p for p in book.pending if p.not_before <= now
+            ][: max(0, self.parallel - len(book.active))]
+            for item in launchable:
+                book.pending.remove(item)
+                self._launch(book, item)
+
+            if not book.active:
+                # Everything left is backoff-gated; sleep until the gate.
+                if book.pending:
+                    gate = min(p.not_before for p in book.pending)
+                    time.sleep(max(0.0, min(gate - time.monotonic(), 0.25)))
+                continue
+
+            # Wait for results, bounded by the nearest deadline.
+            wait_for = 0.25
+            for active in book.active:
+                if active.deadline is not None:
+                    wait_for = min(wait_for, max(0.0, active.deadline - now))
+            ready = connection_wait(
+                [a.conn for a in book.active], timeout=wait_for
+            )
+            now = time.monotonic()
+
+            finished: List[_Active] = []
+            for active in book.active:
+                if active.conn in ready:
+                    try:
+                        kind, payload = active.conn.recv()
+                    except (EOFError, OSError):
+                        active.process.join(timeout=5.0)
+                        code = active.process.exitcode
+                        active.error = f"worker crashed (exitcode {code})"
+                    else:
+                        if kind == "ok":
+                            active.result = RunResult.from_dict(payload).with_attempts(
+                                active.attempt
+                            )
+                        else:
+                            active.error = payload["error"]
+                    finished.append(active)
+                elif not active.process.is_alive() and not active.conn.poll():
+                    # Died without a word (hard crash before send()).
+                    code = active.process.exitcode
+                    active.error = f"worker crashed (exitcode {code})"
+                    finished.append(active)
+                elif active.deadline is not None and now >= active.deadline:
+                    active.process.terminate()
+                    active.error = f"timeout after {self.timeout:g}s"
+                    self._m_timeout.inc()
+                    finished.append(active)
+
+            for active in finished:
+                book.active.remove(active)
+                active.reap()
+                self._m_workers.dec()
+                if active.result is not None:
+                    self._record(book, writer, active.result)
+                elif active.attempt < self.max_attempts:
+                    self._m_retried.inc()
+                    backoff = self.retry_backoff * (2 ** (active.attempt - 1))
+                    book.pending.append(
+                        _Pending(
+                            active.request,
+                            attempt=active.attempt + 1,
+                            not_before=time.monotonic() + backoff,
+                        )
+                    )
+                else:
+                    self._record(
+                        book,
+                        writer,
+                        RunResult.failed(
+                            active.request,
+                            active.error or "unknown failure",
+                            attempts=active.attempt,
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    def _record(
+        self, book: _Book, writer: Optional[CheckpointWriter], result: RunResult
+    ) -> None:
+        book.results[result.request.key] = result
+        if result.is_ok:
+            self._m_completed.inc()
+        else:
+            self._m_failed.inc()
+        if writer is not None:
+            writer.record(result)
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    parallel: int = 1,
+    runner: Optional[Runner] = None,
+    timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.05,
+    checkpoint_path: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    mp_context: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SweepOutcome:
+    """Execute ``plan`` and return its :class:`SweepOutcome`.
+
+    ``parallel`` is the worker-process count (``0`` = inline in this
+    process). See :class:`SweepExecutor` for the remaining knobs.
+    """
+    return SweepExecutor(
+        plan,
+        parallel=parallel,
+        runner=runner,
+        timeout=timeout,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        mp_context=mp_context,
+        metrics=metrics,
+    ).run()
