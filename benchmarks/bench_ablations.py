@@ -21,13 +21,18 @@ from repro.experiments.ablations import (
 from repro.units import MB, gbps, mbps
 
 
-def test_abl_rule_lookup(benchmark, save_report, full_scale):
+def test_abl_rule_lookup(benchmark, save_report, bench_json, full_scale):
     """Linear IPFW scan vs the hash table IPFW cannot use."""
     counts = (10, 100, 1000, 5000, 25000) if full_scale else (10, 100, 1000, 5000)
     result = benchmark.pedantic(
         run_rule_lookup_ablation, kwargs={"vnode_counts": counts}, rounds=1, iterations=1
     )
     save_report("abl_rule_lookup", print_rule_lookup_report(result))
+    bench_json(
+        "abl_rule_lookup",
+        linear_scanned_max=result.linear_scanned[-1],
+        indexed_scanned_max=max(result.indexed_scanned),
+    )
 
     # Linear cost: 2 rules scanned per hosted vnode.
     assert result.linear_scanned == tuple(2 * c for c in counts)
@@ -39,7 +44,7 @@ def test_abl_rule_lookup(benchmark, save_report, full_scale):
     assert result.linear_scanned[idx] / result.indexed_scanned[idx] > 1000
 
 
-def test_abl_uplink_saturation(benchmark, save_report, full_scale):
+def test_abl_uplink_saturation(benchmark, save_report, bench_json, full_scale):
     """Folding overhead appears exactly when the physical port saturates.
 
     The swarm's aggregate traffic is bounded by the emulated *upload*
@@ -57,6 +62,13 @@ def test_abl_uplink_saturation(benchmark, save_report, full_scale):
         iterations=1,
     )
     save_report("abl_uplink_saturation", print_uplink_report(result))
+    bench_json(
+        "abl_uplink_saturation",
+        {
+            f"last_completion_{bw / 1e6:g}mbps": result.last_completions[bw]
+            for bw in result.port_bandwidths
+        },
+    )
 
     times = [result.last_completions[bw] for bw in result.port_bandwidths]
     # A 0.5 Mbps port still carries the folded swarm almost faithfully
@@ -68,11 +80,16 @@ def test_abl_uplink_saturation(benchmark, save_report, full_scale):
     assert times[3] / times[2] > 1.2
 
 
-def test_abl_choker(benchmark, save_report, full_scale):
+def test_abl_choker(benchmark, save_report, bench_json, full_scale):
     """Tit-for-tat vs random (rate-blind) unchoking, in a swarm with
     crippled-uplink free-riders — "incentives build robustness"."""
     result = benchmark.pedantic(run_choker_ablation, rounds=1, iterations=1)
     save_report("abl_choker", print_choker_report(result))
+    bench_json(
+        "abl_choker",
+        with_tft_median=result.with_tft_median,
+        without_tft_median=result.without_tft_median,
+    )
 
     # Who wins: reciprocation concentrates upload on peers that
     # multiply it, so the contributor swarm finishes markedly faster.
@@ -81,7 +98,7 @@ def test_abl_choker(benchmark, save_report, full_scale):
     assert result.tft_freerider_penalty >= result.blind_freerider_penalty
 
 
-def test_abl_stagger(benchmark, save_report, full_scale):
+def test_abl_stagger(benchmark, save_report, bench_json, full_scale):
     """Start stagger: a flash crowd (stagger 0) stresses the initial
     seeders; long stagger lets early finishers seed the late arrivals,
     shortening the median individual download."""
@@ -89,6 +106,10 @@ def test_abl_stagger(benchmark, save_report, full_scale):
         run_stagger_ablation, kwargs={"staggers": (0.0, 2.0, 10.0)}, rounds=1, iterations=1
     )
     save_report("abl_stagger", print_stagger_report(result))
+    bench_json(
+        "abl_stagger",
+        {f"median_s{s:g}": result.median_durations[s] for s in result.staggers},
+    )
 
     assert set(result.staggers) == {0.0, 2.0, 10.0}
     # With larger stagger, the median *individual* download is no worse:
@@ -96,17 +117,18 @@ def test_abl_stagger(benchmark, save_report, full_scale):
     assert result.median_durations[10.0] <= result.median_durations[0.0] * 1.1
 
 
-def test_abl_explicit_acks(benchmark, save_report, full_scale):
+def test_abl_explicit_acks(benchmark, save_report, bench_json, full_scale):
     """Bound the error of the no-ACK transport shortcut (DESIGN.md
     deviation 3): with real 40-byte ACKs competing for the DSL uplink,
     the swarm drain time moves by well under 5%."""
     result = benchmark.pedantic(run_ack_ablation, rounds=1, iterations=1)
     save_report("abl_explicit_acks", print_ack_report(result))
+    bench_json("abl_explicit_acks", relative_difference=result.relative_difference)
 
     assert result.relative_difference < 0.05
 
 
-def test_abl_departure(benchmark, save_report, full_scale):
+def test_abl_departure(benchmark, save_report, bench_json, full_scale):
     """'They stay online and become seeders' vs selfish disconnection:
     departure stretches the completion tail for late arrivals."""
     from repro.experiments.ablations import (
@@ -116,29 +138,46 @@ def test_abl_departure(benchmark, save_report, full_scale):
 
     result = benchmark.pedantic(run_departure_ablation, rounds=1, iterations=1)
     save_report("abl_departure", print_departure_report(result))
+    bench_json(
+        "abl_departure",
+        tail_penalty=result.tail_penalty,
+        leave_median=result.leave_median,
+        stay_median=result.stay_median,
+    )
 
     assert result.tail_penalty > 1.1
     assert result.leave_median >= result.stay_median * 0.95
 
 
-def test_abl_superseed(benchmark, save_report, full_scale):
+def test_abl_superseed(benchmark, save_report, bench_json, full_scale):
     """Super-seeding vs normal initial seeding: the seeder should ship
     markedly fewer bytes before the swarm is self-sustaining."""
     result = benchmark.pedantic(run_superseed_ablation, rounds=1, iterations=1)
     save_report("abl_superseed", print_superseed_report(result))
+    bench_json(
+        "abl_superseed",
+        superseed_seeder_uploaded=result.superseed_seeder_uploaded,
+        normal_seeder_uploaded=result.normal_seeder_uploaded,
+        upload_saving=result.upload_saving,
+    )
 
     assert result.superseed_seeder_uploaded < result.normal_seeder_uploaded
     assert result.upload_saving > 0.1
     assert result.pieces_redistributed > 0
 
 
-def test_abl_ule_generation(benchmark, save_report, full_scale):
+def test_abl_ule_generation(benchmark, save_report, bench_json, full_scale):
     """ULE's FreeBSD 5 -> 6 fairness fix (the paper's reference [12]):
     the FreeBSD 5 model lets some processes race far ahead (finishing
     in a quarter of the fair time); FreeBSD 6 narrows the spread to the
     Figure 3 behaviour."""
     result = benchmark.pedantic(run_ule_generation_ablation, rounds=1, iterations=1)
     save_report("abl_ule_generation", print_ule_generation_report(result))
+    bench_json(
+        "abl_ule_generation",
+        freebsd5_spread=result.freebsd5_spread,
+        freebsd6_spread=result.freebsd6_spread,
+    )
 
     assert result.freebsd5_spread > 2 * result.freebsd6_spread
     # FreeBSD 5's privileged processes finish far earlier than fair share.

@@ -9,12 +9,17 @@ import pytest
 from repro.experiments.fig1_cpu_scalability import print_report, run_fig1
 
 
-def test_fig1_cpu_scalability(benchmark, save_report, full_scale):
+def test_fig1_cpu_scalability(benchmark, save_report, bench_json, full_scale):
     counts = (1, 10, 50, 100, 200, 400, 600, 800, 1000)
     result = benchmark.pedantic(
         run_fig1, kwargs={"counts": counts}, rounds=1, iterations=1
     )
     save_report("fig01_cpu_scalability", print_report(result))
+    bench_json(
+        "fig01_cpu_scalability",
+        {f"final_{label}": series[-1] for label, series in result.curves.items()},
+        max_processes=counts[-1],
+    )
 
     from pathlib import Path
 

@@ -9,9 +9,13 @@ import pytest
 from repro.experiments.fig2_memory_pressure import print_report, run_fig2
 
 
-def test_fig2_memory_pressure(benchmark, save_report, full_scale):
+def test_fig2_memory_pressure(benchmark, save_report, bench_json, full_scale):
     result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
     save_report("fig02_memory_pressure", print_report(result))
+    bench_json(
+        "fig02_memory_pressure",
+        {f"final_{label}": series[-1] for label, series in result.curves.items()},
+    )
 
     for label in ("ULE scheduler", "4BSD scheduler"):
         series = result.curves[label]

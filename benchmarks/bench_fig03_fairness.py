@@ -10,7 +10,7 @@ from repro.analysis.tables import render_ascii_series
 from repro.experiments.fig3_fairness import print_report, run_fig3
 
 
-def test_fig3_fairness(benchmark, save_report, full_scale):
+def test_fig3_fairness(benchmark, save_report, bench_json, full_scale):
     result = benchmark.pedantic(
         run_fig3, kwargs={"instances": 100}, rounds=1, iterations=1
     )
@@ -18,6 +18,11 @@ def test_fig3_fairness(benchmark, save_report, full_scale):
     for label in result.finish_times:
         report.append(render_ascii_series(result.cdf(label), title=f"CDF {label}"))
     save_report("fig03_fairness", "\n\n".join(report))
+    bench_json(
+        "fig03_fairness",
+        {f"spread_{label}": result.spread(label) for label in result.finish_times},
+        instances=100,
+    )
 
     from pathlib import Path
 

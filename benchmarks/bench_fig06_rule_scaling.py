@@ -11,7 +11,7 @@ from repro.experiments.fig6_rule_scaling import print_report, run_fig6
 from repro.units import ms
 
 
-def test_fig6_rule_scaling(benchmark, save_report, full_scale):
+def test_fig6_rule_scaling(benchmark, save_report, bench_json, full_scale):
     rule_counts = (0, 5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000, 50000)
     result = benchmark.pedantic(
         run_fig6,
@@ -24,6 +24,12 @@ def test_fig6_rule_scaling(benchmark, save_report, full_scale):
         series, title="RTT (ms) vs rules"
     )
     save_report("fig06_rule_scaling", report)
+    bench_json(
+        "fig06_rule_scaling",
+        rtt_at_max_rules_ms=result.rtts[-1][0] * 1e3,
+        slope_us_per_rule=result.slope_us_per_rule(),
+        max_rules=rule_counts[-1],
+    )
 
     avgs = [r[0] for r in result.rtts]
     assert avgs == sorted(avgs), "RTT must grow with the rule count"

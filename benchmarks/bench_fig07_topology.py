@@ -11,12 +11,18 @@ from repro.experiments.fig7_topology import print_report, run_fig7
 from repro.units import ms
 
 
-def test_fig7_topology(benchmark, save_report, full_scale):
+def test_fig7_topology(benchmark, save_report, bench_json, full_scale):
     scale = 0.2 if full_scale else 0.02
     result = benchmark.pedantic(
         run_fig7, kwargs={"scale": scale, "num_pnodes": 8}, rounds=1, iterations=1
     )
     save_report("fig07_topology", print_report(result))
+    bench_json(
+        "fig07_topology",
+        measured_rtt=result.measured_rtt,
+        overhead=result.overhead,
+        scale=scale,
+    )
 
     # The paper's headline number.
     assert result.measured_rtt == pytest.approx(0.853, abs=ms(5))

@@ -14,7 +14,7 @@ from repro.experiments.fig8_download_evolution import print_report, run_fig8
 from repro.units import MB, kbps
 
 
-def test_fig8_download_evolution(benchmark, save_report, full_scale):
+def test_fig8_download_evolution(benchmark, save_report, bench_json, full_scale):
     if full_scale:
         kwargs = {}  # the paper's exact parameters
     else:
@@ -30,6 +30,12 @@ def test_fig8_download_evolution(benchmark, save_report, full_scale):
         + render_ascii_series(first, title="one client's progress (% vs time)")
     )
     save_report("fig08_download_evolution", report)
+    bench_json(
+        "fig08_download_evolution",
+        last_completion=result.last_completion,
+        median_completion=result.summary.median_completion,
+        clients=result.summary.clients,
+    )
 
     leechers = kwargs.get("leechers", 160)
     file_size = kwargs.get("file_size", 16 * MB)

@@ -14,7 +14,7 @@ from repro.experiments.fig9_folding import print_report, run_fig9
 from repro.units import MB
 
 
-def test_fig9_folding(benchmark, save_report, full_scale):
+def test_fig9_folding(benchmark, save_report, bench_json, full_scale):
     if full_scale:
         kwargs = {}  # 160 clients on 160/16/8/4/2 pnodes
     else:
@@ -27,6 +27,11 @@ def test_fig9_folding(benchmark, save_report, full_scale):
         )
     result = benchmark.pedantic(run_fig9, kwargs=kwargs, rounds=1, iterations=1)
     save_report("fig09_folding", print_report(result))
+    bench_json(
+        "fig09_folding",
+        {f"last_completion_p{p}": t for p, t in result.last_completions.items()},
+        max_relative_gap=result.max_relative_gap,
+    )
 
     # Every folding downloads the same total payload.
     finals = {curve[-1][1] for curve in result.curves.values()}

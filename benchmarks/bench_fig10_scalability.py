@@ -12,12 +12,19 @@ import pytest
 from repro.experiments.fig10_scalability import print_report, run_fig10
 
 
-def test_fig10_scalability(benchmark, save_report, full_scale):
+def test_fig10_scalability(benchmark, save_report, bench_json, full_scale):
     scale = 1.0 if full_scale else 0.02
     result = benchmark.pedantic(
         run_fig10, kwargs={"scale": scale}, rounds=1, iterations=1
     )
     save_report("fig10_scalability", print_report(result))
+    bench_json(
+        "fig10_scalability",
+        clients=result.clients,
+        vnodes_per_pnode=result.vnodes_per_pnode,
+        last_completion=result.last_completion,
+        scale=scale,
+    )
 
     assert result.vnodes_per_pnode <= 33  # the paper's folding ratio
     assert result.completion[-1][1] == result.clients  # everyone finished

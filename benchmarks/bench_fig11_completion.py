@@ -9,12 +9,18 @@ import pytest
 from repro.experiments.fig11_completion import print_report, run_fig11
 
 
-def test_fig11_completion(benchmark, save_report, full_scale):
+def test_fig11_completion(benchmark, save_report, bench_json, full_scale):
     scale = 1.0 if full_scale else 0.02
     result = benchmark.pedantic(
         run_fig11, kwargs={"scale": scale, "seed": 1}, rounds=1, iterations=1
     )
     save_report("fig11_completion", print_report(result))
+    bench_json(
+        "fig11_completion",
+        clients=result.clients,
+        ramp_steepness=result.ramp_steepness,
+        scale=scale,
+    )
 
     # Also emit gnuplot artifacts (benchmarks/out/fig11.gp + .dat):
     # `gnuplot fig11.gp` regenerates the figure as a PNG.

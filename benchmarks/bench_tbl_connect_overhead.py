@@ -12,19 +12,26 @@ from repro.experiments.tbl_connect_overhead import (
 )
 
 
-def test_tbl_connect_overhead(benchmark, save_report, full_scale):
+def test_tbl_connect_overhead(benchmark, save_report, bench_json, full_scale):
     cycles = 2000 if full_scale else 500
     result = benchmark.pedantic(
         run_connect_overhead, kwargs={"cycles": cycles}, rounds=1, iterations=1
     )
     save_report("tblA_connect_overhead", print_report(result))
+    bench_json(
+        "tblA_connect_overhead",
+        plain_us=result.plain_us,
+        intercepted_us=result.intercepted_us,
+        overhead_us=result.overhead_us,
+        cycles=cycles,
+    )
 
     assert result.plain_us == pytest.approx(10.22, abs=0.05)
     assert result.intercepted_us == pytest.approx(10.79, abs=0.05)
     assert result.overhead_us == pytest.approx(0.57, abs=0.02)
 
 
-def test_tbl_alias_overhead(benchmark, save_report, full_scale):
+def test_tbl_alias_overhead(benchmark, save_report, bench_json, full_scale):
     """Paper: "interface aliases produced no overhead compared to the
     normal assignment of an IP address"."""
     from repro.experiments.tbl_alias_overhead import (
@@ -37,5 +44,8 @@ def test_tbl_alias_overhead(benchmark, save_report, full_scale):
         run_alias_overhead, kwargs={"aliases": aliases}, rounds=1, iterations=1
     )
     save_report("tblB_alias_overhead", alias_report(result))
+    bench_json(
+        "tblB_alias_overhead", max_overhead=result.max_overhead, aliases=aliases
+    )
 
     assert abs(result.max_overhead) < 1e-9

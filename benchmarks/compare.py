@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Benchmark regression checker over ``BENCH_<fig>.json`` files.
+
+The benchmark suite (``pytest benchmarks/``) drops one JSON document
+per figure at the repo root: manifest + wall-clock seconds + key
+metrics (see ``benchmarks/conftest.py::bench_json``). This script
+compares those wall-clocks against a baseline and **fails (exit 1) on
+a >25% wall-clock regression** on any figure.
+
+Baselines, in order of preference:
+
+* ``--baseline DIR`` — a directory of ``BENCH_*.json`` files from an
+  earlier checkout/run; figures are matched by file name.
+* no baseline — each current file's embedded ``previous_wall_seconds``
+  (recorded automatically when a run overwrites an older file) is used
+  when present; figures without one are reported as NEW and pass.
+
+Usage::
+
+    python benchmarks/compare.py                      # self-compare
+    python benchmarks/compare.py --baseline old/      # vs checkout
+    python benchmarks/compare.py --threshold 0.10     # stricter gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Optional
+
+DEFAULT_THRESHOLD = 0.25
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_bench_files(directory: pathlib.Path) -> Dict[str, dict]:
+    """``{figure_id: document}`` for every BENCH_*.json in ``directory``."""
+    docs: Dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (ValueError, OSError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}", file=sys.stderr)
+            continue
+        figure = doc.get("figure") or path.stem[len("BENCH_") :]
+        docs[figure] = doc
+    return docs
+
+
+def compare_one(
+    figure: str,
+    current_wall: Optional[float],
+    baseline_wall: Optional[float],
+    threshold: float,
+) -> str:
+    """Return ``"ok" | "regression" | "new" | "missing"`` for one figure."""
+    if current_wall is None:
+        return "missing"
+    if baseline_wall is None or baseline_wall <= 0:
+        return "new"
+    if current_wall > baseline_wall * (1.0 + threshold):
+        return "regression"
+    return "ok"
+
+
+def run(
+    current_dir: pathlib.Path,
+    baseline_dir: Optional[pathlib.Path],
+    threshold: float,
+) -> int:
+    current = load_bench_files(current_dir)
+    if not current:
+        print(f"no BENCH_*.json files found in {current_dir}", file=sys.stderr)
+        return 2
+    baseline = load_bench_files(baseline_dir) if baseline_dir else {}
+
+    regressions = []
+    width = max(len(f) for f in current)
+    print(f"{'figure':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}  verdict")
+    for figure in sorted(current):
+        doc = current[figure]
+        wall = doc.get("wall_seconds")
+        if baseline_dir:
+            base = baseline.get(figure, {}).get("wall_seconds")
+        else:
+            base = doc.get("previous_wall_seconds")
+        verdict = compare_one(figure, wall, base, threshold)
+        if verdict == "regression":
+            regressions.append(figure)
+        delta = (
+            f"{(wall - base) / base * 100:+7.1f}%"
+            if (wall is not None and base)
+            else "     n/a"
+        )
+        base_s = f"{base:10.3f}" if base else f"{'-':>10}"
+        wall_s = f"{wall:10.3f}" if wall is not None else f"{'-':>10}"
+        print(f"{figure:<{width}}  {base_s}  {wall_s}  {delta}  {verdict}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} figure(s) regressed more than "
+            f"{threshold:.0%} wall-clock: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no figure regressed more than {threshold:.0%} wall-clock")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="directory holding the current BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="directory of baseline BENCH_*.json files "
+        "(default: each file's embedded previous_wall_seconds)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative wall-clock regression that fails the check (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.current, args.baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

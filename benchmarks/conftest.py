@@ -3,17 +3,25 @@
 Each benchmark regenerates one paper figure/table at scaled-down
 default parameters (full scale via ``REPRO_FULL_SCALE=1``; see
 EXPERIMENTS.md for recorded full-scale runs). Reports are printed and
-saved under ``benchmarks/out/``.
+saved under ``benchmarks/out/``; each figure additionally drops a
+machine-readable ``BENCH_<fig>.json`` at the repo root (manifest +
+wall-clock + key metrics) so the performance trajectory is diffable
+across commits — ``benchmarks/compare.py`` consumes those files.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import platform
+import subprocess
+import time
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +40,60 @@ def save_report():
         print(f"\n{text}\n")
 
     return _save
+
+
+def _git_commit() -> "str | None":
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or None
+    except Exception:  # pragma: no cover - git absent
+        return None
+
+
+@pytest.fixture
+def bench_json(benchmark, full_scale):
+    """Emit ``BENCH_<fig>.json`` at the repo root for one figure.
+
+    The document bundles a small provenance manifest (python, platform,
+    git commit, full-scale flag), the benchmark's wall-clock seconds
+    (from pytest-benchmark's stats), and whatever key result metrics
+    the figure passes in. If a previous file exists its wall-clock is
+    preserved as ``previous_wall_seconds`` so ``compare.py`` can flag
+    regressions even without a separate baseline checkout.
+    """
+
+    def _write(figure_id: str, metrics=None, **extra_metrics) -> pathlib.Path:
+        stats = getattr(benchmark.stats, "stats", None)
+        wall = float(stats.mean) if stats is not None else None
+        merged = dict(metrics or {})
+        merged.update(extra_metrics)
+        doc = {
+            "figure": figure_id,
+            "wall_seconds": wall,
+            "metrics": merged,
+            "manifest": {
+                "python_version": platform.python_version(),
+                "platform": platform.platform(),
+                "full_scale": full_scale,
+                "git_commit": _git_commit(),
+                "created_unix": round(time.time(), 3),
+            },
+        }
+        path = REPO_ROOT / f"BENCH_{figure_id}.json"
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text()).get("wall_seconds")
+            except (ValueError, OSError):
+                previous = None
+            if previous is not None:
+                doc["previous_wall_seconds"] = previous
+        path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        return path
+
+    return _write

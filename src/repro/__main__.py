@@ -15,6 +15,9 @@ Examples::
     python -m repro metrics
     python -m repro metrics seed=7 leechers=6 format=text
     python -m repro metrics out=run.json deterministic=true
+    python -m repro metrics format=prom out=metrics.prom
+    python -m repro trace fig8 out=trace.json
+    python -m repro trace fig8 out=trace.json profile=true
     python -m repro sweep fig6 --parallel 4 --out sweep.json
     python -m repro sweep fig6 --parallel 2 rule_count=0,10000,20000
     python -m repro sweep fig10 --replications 3 --resume --checkpoint ck.jsonl
@@ -195,13 +198,19 @@ def run_metrics(overrides: Dict[str, Any]) -> int:
     Overrides: any :class:`~repro.bittorrent.swarm.SwarmConfig` scalar
     (``leechers``, ``seeders``, ``file_size``, ``seed``, ...) plus
 
-    * ``format`` — ``json`` (default), ``text`` or ``csv``;
+    * ``format`` — ``json`` (default), ``text``, ``csv`` or ``prom``
+      (Prometheus text exposition);
     * ``out`` — write to a file instead of stdout (required for csv);
     * ``max_time`` — simulation horizon (default 20000 s);
     * ``deterministic`` — drop host-specific manifest fields so the
       output is byte-identical across same-seed runs.
     """
-    from repro.analysis.export import metrics_json, write_metrics_csv, write_metrics_json
+    from repro.analysis.export import (
+        metrics_json,
+        metrics_prom,
+        write_metrics_csv,
+        write_metrics_json,
+    )
     from repro.bittorrent import Swarm, SwarmConfig
     from repro.core.report import format_metrics
     from repro.units import MB
@@ -247,8 +256,12 @@ def run_metrics(overrides: Dict[str, Any]) -> int:
         return 0
     elif fmt == "json":
         text = metrics_json(manifest, snapshot, spans, deterministic_only=deterministic)
+    elif fmt == "prom":
+        # The info line only carries deterministic manifest fields, so
+        # prom output is stable bytes regardless of ``deterministic``.
+        text = metrics_prom(snapshot, manifest).rstrip("\n")
     else:
-        print(f"unknown format {fmt!r} (json|text|csv)", file=sys.stderr)
+        print(f"unknown format {fmt!r} (json|text|csv|prom)", file=sys.stderr)
         return 2
     if out is not None:
         if fmt == "json":
@@ -262,18 +275,129 @@ def run_metrics(overrides: Dict[str, Any]) -> int:
     return 0
 
 
+#: Scaled-down swarm shapes for ``python -m repro trace <exp>`` — small
+#: enough to trace in seconds, big enough to exercise every layer
+#: (≥ 2 physical nodes so the Perfetto view shows multiple pid rows).
+_TRACE_PRESETS: Dict[str, Dict[str, Any]] = {
+    "quickstart": dict(leechers=4, seeders=1, file_size=1 << 20, stagger=1.0, num_pnodes=2),
+    "fig8": dict(leechers=6, seeders=1, file_size=512 * 1024, stagger=1.0, num_pnodes=4),
+    "fig9": dict(leechers=8, seeders=1, file_size=512 * 1024, stagger=0.5, num_pnodes=2),
+    "fig10": dict(leechers=12, seeders=1, file_size=256 * 1024, stagger=0.25, num_pnodes=4),
+    "fig11": dict(leechers=12, seeders=2, file_size=256 * 1024, stagger=0.25, num_pnodes=4),
+}
+
+
+def run_trace(argv: List[str]) -> int:
+    """``python -m repro trace <exp> [out=trace.json] [key=value ...]``.
+
+    Runs a scaled-down flight-recorded swarm for the experiment and
+    writes a Chrome Trace Event JSON that opens in ``ui.perfetto.dev``:
+    physical nodes are process rows (tid 0 = kernel: ipfw + pipes),
+    virtual nodes are thread rows, the switch fabric and the experiment
+    harness get their own rows. Deterministic: byte-identical across
+    same-seed runs unless ``profile=true`` adds wall-clock data.
+
+    Overrides: any :class:`~repro.bittorrent.swarm.SwarmConfig` scalar,
+    plus ``out`` (default ``trace.json``), ``max_time``, ``observe``
+    (``false`` = NULL-instrument run: no flights recorded),
+    ``profile`` (embed wall-clock event-loop profile — makes the
+    output non-reproducible), and ``sample_period`` (sim-seconds
+    between time-series samples; default 5).
+    """
+    if not argv:
+        print("usage: python -m repro trace <experiment> [out=trace.json]", file=sys.stderr)
+        return 2
+    experiment_id, pairs = argv[0], argv[1:]
+    known = set(_TRACE_PRESETS) | {"swarm"}
+    if experiment_id not in known:
+        print(
+            f"unknown traceable experiment {experiment_id!r} "
+            f"(swarm-backed ids: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.bittorrent import Swarm, SwarmConfig
+    from repro.obs.chrometrace import validate_chrome_trace, write_chrome_trace
+    from repro.obs.timeseries import TimeSeriesSampler
+
+    overrides = _parse_overrides(pairs)
+    out = overrides.pop("out", "trace.json")
+    max_time = float(overrides.pop("max_time", 20000.0))
+    observe = bool(overrides.pop("observe", True))
+    profile = bool(overrides.pop("profile", False))
+    sample_period = float(overrides.pop("sample_period", 5.0))
+    params: Dict[str, Any] = dict(_TRACE_PRESETS.get(experiment_id, _TRACE_PRESETS["quickstart"]))
+    params["seed"] = 0
+    params.update(overrides)
+    params["observe"] = observe
+    params["flight"] = observe
+    try:
+        config = SwarmConfig(**params)
+    except TypeError as exc:
+        print(f"bad override: {exc}", file=sys.stderr)
+        return 2
+
+    swarm = Swarm(config)
+    if profile:
+        swarm.sim.enable_profiler()
+    timeseries = None
+    if observe:
+        timeseries = TimeSeriesSampler(swarm.sim, period=sample_period)
+        timeseries.start()
+    start = time.perf_counter()
+    swarm.run(max_time=max_time)
+    wall = time.perf_counter() - start
+    if timeseries is not None:
+        timeseries.stop()
+
+    doc = swarm.chrome_trace(
+        timeseries=timeseries,
+        include_profile=profile,
+        experiment=experiment_id,
+    )
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    path = write_chrome_trace(out, doc)
+
+    flights = swarm.sim.flight.flights()
+    delivered = sum(1 for f in flights if f.status == "delivered")
+    events = doc["traceEvents"]
+    timed = [e for e in events if e["ph"] != "M"]
+    pids = sorted({e["pid"] for e in timed})
+    print(
+        f"trace: {len(events)} events ({len(timed)} timed) on {len(pids)} process rows "
+        f"-> {path}"
+    )
+    print(
+        f"flights: {len(flights)} recorded, {delivered} delivered; "
+        f"spans: {len(getattr(swarm.sim.tracer, 'finished', []))}; "
+        f"records: {len(swarm.sim.trace)}"
+    )
+    if profile:
+        print(swarm.sim.profiler.format())
+        print("(profile=true embeds wall-clock data: output is not reproducible)")
+    print(f"open in https://ui.perfetto.dev  [{wall:.1f}s wall]")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return run_sweep(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return run_trace(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a figure/table of the P2PLab paper.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list', 'all', 'metrics', or 'sweep'",
+        help="experiment id (see 'list'), 'list', 'all', 'metrics', 'trace', or 'sweep'",
     )
     parser.add_argument(
         "overrides",

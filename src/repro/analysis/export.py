@@ -193,6 +193,78 @@ def write_sweep_json(
     return path
 
 
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus metric name."""
+    sanitized = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_num(value: float) -> str:
+    """Prometheus float rendering (repr keeps full precision; ints stay ints)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def metrics_prom(
+    snapshot: Snapshot, manifest: Optional[RunManifest] = None
+) -> str:
+    """Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+
+    Counters become ``<name>_total``; gauges emit their value plus a
+    ``<name>_peak`` companion; histograms emit cumulative ``_bucket``
+    series with ``le`` labels, ``_sum`` and ``_count``. An optional
+    manifest becomes a ``repro_run_info`` info-style gauge. Metric
+    names are emitted sorted, so output bytes are deterministic.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric["kind"]
+        prom = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {_prom_num(metric['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_num(metric['value'])}")
+            lines.append(f"# TYPE {prom}_peak gauge")
+            lines.append(f"{prom}_peak {_prom_num(metric['peak'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            edges = list(metric["edges"])  # type: ignore[arg-type]
+            counts = list(metric["counts"])  # type: ignore[arg-type]
+            for edge, count in zip(edges, counts):
+                cumulative += count
+                lines.append(f'{prom}_bucket{{le="{_prom_num(float(edge))}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric["count"]}')
+            lines.append(f"{prom}_sum {_prom_num(metric['sum'])}")
+            lines.append(f"{prom}_count {metric['count']}")
+    if manifest is not None:
+        info = manifest.as_dict(deterministic_only=True)
+        labels = ",".join(
+            f'{_prom_name(str(k))[len("repro_"):]}="{v}"'
+            for k, v in sorted(info.items())
+            if isinstance(v, (str, int, float, bool))
+        )
+        lines.append("# TYPE repro_run_info gauge")
+        lines.append(f"repro_run_info{{{labels}}} 1")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prom(
+    path: PathLike, snapshot: Snapshot, manifest: Optional[RunManifest] = None
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(metrics_prom(snapshot, manifest))
+    return path
+
+
 def write_metrics_csv(path: PathLike, snapshot: Snapshot) -> pathlib.Path:
     """Flat ``metric,kind,field,value`` rows — one line per scalar, so
     histograms expand into count/sum/min/max plus one ``bucket_le_X``

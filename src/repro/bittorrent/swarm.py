@@ -48,6 +48,11 @@ class SwarmConfig:
     #: packet count; measures what the default window-credit shortcut
     #: hides — see the abl-acks benchmark).
     tcp_explicit_acks: bool = False
+    #: ``False`` runs the whole platform on NULL instruments.
+    observe: bool = True
+    #: Record per-packet hop-by-hop flights (requires ``observe``).
+    #: Off by default: memory grows with traffic volume.
+    flight: bool = False
 
     @property
     def total_peers(self) -> int:
@@ -92,6 +97,8 @@ class Swarm:
             num_pnodes=cfg.num_pnodes,
             seed=cfg.seed,
             tcp_explicit_acks=cfg.tcp_explicit_acks,
+            observe=cfg.observe,
+            flight=cfg.flight,
         )
         self.sim = self.testbed.sim
         self.sim.trace.enable("bt.progress", "bt.complete", "bt.start")
@@ -243,6 +250,43 @@ class Swarm:
     def metrics_snapshot(self, include_wall: bool = False) -> Snapshot:
         """Deterministic snapshot of the platform-wide metrics registry."""
         return self.sim.metrics.snapshot(include_wall=include_wall)
+
+    def chrome_trace(
+        self,
+        timeseries=None,
+        include_profile: bool = False,
+        **metadata,
+    ) -> dict:
+        """Chrome Trace Event document of this run (Perfetto-loadable).
+
+        Merges whatever was recorded: packet flights (``flight=True``),
+        tracer spans, trace-recorder client logs, and an optional
+        :class:`~repro.obs.timeseries.TimeSeriesSampler`. Deterministic
+        unless ``include_profile`` pulls in wall-clock profiler data.
+        """
+        from repro.obs.chrometrace import TraceLayout, chrome_trace_document
+
+        sim = self.sim
+        cfg = self.config
+        layout = TraceLayout.for_testbed(self.testbed)
+        meta = {
+            "seed": cfg.seed,
+            "leechers": cfg.leechers,
+            "seeders": cfg.seeders,
+            "num_pnodes": cfg.num_pnodes,
+            "file_size": cfg.file_size,
+        }
+        meta.update(metadata)
+        return chrome_trace_document(
+            layout,
+            flight_recorder=sim.flight if sim.flight.enabled else None,
+            tracer=sim.tracer if getattr(sim.tracer, "finished", None) else None,
+            recorder=sim.trace,
+            timeseries=timeseries,
+            profiler=sim.profiler,
+            include_profile=include_profile,
+            metadata=meta,
+        )
 
     # -- summary statistics ------------------------------------------------
     def completion_times(self) -> List[float]:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import Snapshot, diff_snapshots
+from repro.obs.timeseries import TimeSeriesSampler
 from repro.virt.deployment import Testbed
 
 
@@ -55,7 +56,12 @@ class ResourceMonitor:
     """Samples every physical node at a fixed period."""
 
     def __init__(
-        self, testbed: Testbed, period: float = 10.0, record_metrics: bool = False
+        self,
+        testbed: Testbed,
+        period: float = 10.0,
+        record_metrics: bool = False,
+        timeseries: bool = False,
+        timeseries_metrics: Optional[List[str]] = None,
     ) -> None:
         self.testbed = testbed
         self.period = period
@@ -65,6 +71,18 @@ class ResourceMonitor:
         #: per sampling period, so experiments can diff any two instants.
         self.record_metrics = record_metrics
         self.metrics_snapshots: List[Tuple[float, Snapshot]] = []
+        #: When ``timeseries`` is set, a
+        #: :class:`~repro.obs.timeseries.TimeSeriesSampler` runs on the
+        #: same period and accumulates deterministic per-metric series
+        #: (the trajectory view the paper's figures need); optionally
+        #: filtered to ``timeseries_metrics``.
+        self.timeseries: Optional[TimeSeriesSampler] = (
+            TimeSeriesSampler(
+                testbed.sim, period=period, metrics=timeseries_metrics
+            )
+            if timeseries
+            else None
+        )
         self._started_at: Optional[float] = None
         self._running = False
         self._last_cpu_busy: Dict[str, float] = {}
@@ -74,10 +92,14 @@ class ResourceMonitor:
             return
         self._running = True
         self._started_at = self.testbed.sim.now
+        if self.timeseries is not None:
+            self.timeseries.start()
         self.testbed.sim.schedule(0.0, self._sample)
 
     def stop(self) -> None:
         self._running = False
+        if self.timeseries is not None:
+            self.timeseries.stop()
 
     # ------------------------------------------------------------------
     def _sample(self) -> None:

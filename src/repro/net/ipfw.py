@@ -109,17 +109,32 @@ class Rule:
 
 
 class Verdict:
-    """Result of evaluating one packet against the rule list."""
+    """Result of evaluating one packet against the rule list.
 
-    __slots__ = ("allowed", "pipes", "scanned")
+    ``matched`` carries the numbers of the rules that matched, in
+    evaluation order — what ``ipfw show`` hit counters would attribute
+    this packet to, and what the flight recorder reports per hop.
+    """
 
-    def __init__(self, allowed: bool, pipes: Tuple[DummynetPipe, ...], scanned: int) -> None:
+    __slots__ = ("allowed", "pipes", "scanned", "matched")
+
+    def __init__(
+        self,
+        allowed: bool,
+        pipes: Tuple[DummynetPipe, ...],
+        scanned: int,
+        matched: Tuple[int, ...] = (),
+    ) -> None:
         self.allowed = allowed
         self.pipes = pipes
         self.scanned = scanned
+        self.matched = matched
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Verdict(allowed={self.allowed}, pipes={len(self.pipes)}, scanned={self.scanned})"
+        return (
+            f"Verdict(allowed={self.allowed}, pipes={len(self.pipes)}, "
+            f"scanned={self.scanned}, matched={self.matched})"
+        )
 
 
 class Firewall:
@@ -276,6 +291,7 @@ class Firewall:
 
         indexed = self.indexed
         pipes: List[DummynetPipe] = []
+        matched: List[int] = []
         allowed = True
         examined = 0
         scanned = 0 if indexed else len(self._rules)
@@ -284,6 +300,7 @@ class Firewall:
             if not rule.matches(packet, direction):
                 continue
             rule.hits += 1
+            matched.append(rule.number)
             action = rule.action
             if action == ACTION_PIPE:
                 pipes.append(rule.pipe)  # type: ignore[arg-type]
@@ -307,7 +324,7 @@ class Firewall:
         self._m_scanned.inc(scanned)
         if not allowed:
             self._m_denied.inc()
-        return Verdict(allowed, tuple(pipes), scanned)
+        return Verdict(allowed, tuple(pipes), scanned, tuple(matched))
 
     def stats(self) -> dict:
         return {

@@ -18,7 +18,10 @@ from repro.net.addr import IPv4Address, ip
 class Interface:
     """One NIC: a primary address plus an ordered list of aliases."""
 
-    __slots__ = ("name", "primary", "_aliases", "_addr_values")
+    __slots__ = (
+        "name", "primary", "_aliases", "_addr_values",
+        "tx_packets", "tx_bytes", "rx_packets", "rx_bytes",
+    )
 
     def __init__(self, name: str = "eth0", primary: Union[IPv4Address, str, None] = None) -> None:
         self.name = name
@@ -27,6 +30,29 @@ class Interface:
         self._addr_values: Set[int] = set()
         if self.primary is not None:
             self._addr_values.add(self.primary.value)
+        # ``netstat -i``-style counters, fed by the owning stack.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def count_tx(self, size: int) -> None:
+        """Account one transmitted packet of ``size`` bytes."""
+        self.tx_packets += 1
+        self.tx_bytes += size
+
+    def count_rx(self, size: int) -> None:
+        """Account one received packet of ``size`` bytes."""
+        self.rx_packets += 1
+        self.rx_bytes += size
+
+    def stats(self) -> dict:
+        return {
+            "tx_packets": self.tx_packets,
+            "tx_bytes": self.tx_bytes,
+            "rx_packets": self.rx_packets,
+            "rx_bytes": self.rx_bytes,
+        }
 
     def set_primary(self, addr: Union[IPv4Address, str]) -> None:
         addr = ip(addr)

@@ -51,10 +51,15 @@ class Packet:
     on_drop:
         Optional callable invoked (with the packet) if any pipe on the
         path drops the packet; transports hook retransmission here.
+    flow:
+        Optional flow label for the flight recorder (stamped by the
+        transport or, lazily, by :class:`~repro.obs.flight.FlightRecorder`).
+        ``None`` when flight recording is off — zero per-packet cost.
     """
 
     __slots__ = (
         "id", "src", "dst", "proto", "size", "sport", "dport", "payload", "kind", "on_drop",
+        "flow",
     )
 
     def __init__(
@@ -78,6 +83,7 @@ class Packet:
         self.payload = payload
         self.kind = kind
         self.on_drop = None
+        self.flow = None
 
     def reply_template(self, proto: Optional[str] = None) -> "Packet":
         """A packet headed back to this packet's source (ports swapped)."""

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import FirewallError
 from repro.net.packet import Packet
+from repro.obs.flight import NULL_FLIGHT
 from repro.obs.metrics import BYTES_EDGES, NULL_REGISTRY
 
 DeliverFn = Callable[[Packet], Any]
@@ -36,6 +37,8 @@ class DummynetPipe:
     __slots__ = (
         "sim",
         "name",
+        "owner",
+        "_flight",
         "bandwidth",
         "delay",
         "plr",
@@ -62,6 +65,7 @@ class DummynetPipe:
         plr: float = 0.0,
         queue_limit: Optional[int] = None,
         name: str = "pipe",
+        owner: Optional[str] = None,
     ) -> None:
         """
         Parameters
@@ -75,6 +79,11 @@ class DummynetPipe:
         queue_limit:
             Maximum backlog in bytes awaiting serialization; ``None`` =
             unbounded. Ignored for unshaped pipes.
+        owner:
+            Label of the node whose kernel runs this pipe (pnode name,
+            or ``"switch"`` for fabric port pipes). Used by the flight
+            recorder / Perfetto export for row attribution; defaults to
+            the pipe name.
         """
         if bandwidth is not None and bandwidth <= 0:
             raise FirewallError(f"pipe bandwidth must be positive, got {bandwidth}")
@@ -84,6 +93,9 @@ class DummynetPipe:
             raise FirewallError(f"pipe plr must be in [0,1), got {plr}")
         self.sim = sim
         self.name = name
+        self.owner = owner if owner is not None else name
+        # Flight recorder, cached at construction (NULL when disabled).
+        self._flight = getattr(sim, "flight", NULL_FLIGHT)
         self.bandwidth = bandwidth
         self.delay = delay
         self.plr = plr
@@ -112,15 +124,19 @@ class DummynetPipe:
         """
         sim = self.sim
         now = sim.now
+        flight = self._flight
         self.packets_in += 1
         self.bytes_in += packet.size
 
         if self._rng is not None and self._rng.random() < self.plr:
             self.packets_dropped_loss += 1
             self._m_drop_loss.inc()
+            if flight.enabled:
+                flight.drop(packet, self.owner, now, f"loss:{self.name}")
             return False
 
         if self.bandwidth is None:
+            wait = txn = backlog_bytes = 0.0
             arrival_delay = self.delay
         else:
             backlog_start = self._busy_until if self._busy_until > now else now
@@ -130,14 +146,32 @@ class DummynetPipe:
                 if backlog_bytes + packet.size > self.queue_limit:
                     self.packets_dropped_queue += 1
                     self._m_drop_queue.inc()
+                    if flight.enabled:
+                        flight.drop(packet, self.owner, now, f"queue:{self.name}")
                     return False
             depart = backlog_start + packet.size / self.bandwidth
             self._busy_until = depart
+            wait = backlog_start - now
+            txn = packet.size / self.bandwidth
             arrival_delay = depart - now + self.delay
 
         self.packets_out += 1
         self.bytes_out += packet.size
         self._m_out.inc()
+        if flight.enabled:
+            # t1 uses the scheduler's own arithmetic (now + delay), so
+            # consecutive hop boundaries tile exactly.
+            flight.pipe(
+                packet,
+                self.owner,
+                self.name,
+                now,
+                now + arrival_delay,
+                wait,
+                txn,
+                self.delay,
+                backlog_bytes,
+            )
         sim.schedule(arrival_delay, deliver, packet)
         return True
 

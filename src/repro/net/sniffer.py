@@ -1,9 +1,18 @@
 """Packet capture on a network stack (``tcpdump`` for the emulation).
 
-A sniffer taps one stack's ingress and egress, records packet headers
-(never payloads — like a real ``tcpdump -s 64``), and supports BPF-ish
-filtering by protocol, address and port. Used for debugging emulated
-applications and in tests asserting what actually crossed the wire.
+A sniffer attaches to the stack's packet-tap seam
+(:meth:`~repro.net.stack.NetworkStack.add_tap`), records packet
+headers (never payloads — like a real ``tcpdump -s 64``), and supports
+BPF-ish filtering by protocol, address and port. Used for debugging
+emulated applications and in tests asserting what actually crossed
+the wire.
+
+Tap placement matters: egress taps fire *after* the outbound firewall
+verdict, so packets denied by an ipfw rule never appear in a capture
+(exactly like ``tcpdump`` on a real interface, which sees traffic
+after the firewall on the outbound path). Ingress taps fire on wire
+arrival, *before* the inbound verdict — the packet demonstrably
+crossed the wire even if the local firewall then drops it.
 
 Example
 -------
@@ -21,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.net.addr import IPv4Address, ip
+from repro.net.ipfw import DIR_IN, DIR_OUT
 from repro.net.packet import Packet
 
 
@@ -78,10 +88,8 @@ class Sniffer:
         self.captured: List[Capture] = []
         self.dropped_by_filter = 0
         self._active = True
-        self._orig_send = stack.send_packet
-        self._orig_recv = stack._deliver_local
-        stack.send_packet = self._tap_out
-        stack._deliver_local = self._tap_in
+        stack.add_tap(self._tap_out, direction=DIR_OUT)
+        stack.add_tap(self._tap_in, direction=DIR_IN)
 
     # ------------------------------------------------------------------
     def _matches(self, pkt: Packet) -> bool:
@@ -117,11 +125,9 @@ class Sniffer:
 
     def _tap_out(self, pkt: Packet) -> None:
         self._record(pkt, "out")
-        self._orig_send(pkt)
 
     def _tap_in(self, pkt: Packet) -> None:
         self._record(pkt, "in")
-        self._orig_recv(pkt)
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -129,8 +135,8 @@ class Sniffer:
         if not self._active:
             return
         self._active = False
-        self.stack.send_packet = self._orig_send
-        self.stack._deliver_local = self._orig_recv
+        self.stack.remove_tap(self._tap_out)
+        self.stack.remove_tap(self._tap_in)
 
     def total_bytes(self, direction: Optional[str] = None) -> int:
         return sum(

@@ -35,6 +35,7 @@ from repro.net.pipe import DummynetPipe
 from repro.net.switch import Switch
 from repro.net.tcp import TcpLayer
 from repro.net.udp import UdpLayer
+from repro.obs.flight import NULL_FLIGHT
 from repro.sim.process import Signal
 
 #: Cost of scanning one IPFW rule, calibrated to Figure 6 of the paper
@@ -60,6 +61,15 @@ class NetworkStack:
     ) -> None:
         self.sim = sim
         self.name = name
+        #: Flight recorder, cached at construction (NULL when disabled).
+        self.flight = getattr(sim, "flight", NULL_FLIGHT)
+        #: Packet taps (sniffers). Egress taps fire *after* the outgoing
+        #: firewall verdict allows the packet — captures reflect what
+        #: actually crossed the wire, never ipfw-denied traffic.
+        #: Ingress taps fire on wire arrival, before the inbound verdict
+        #: (the packet did cross the wire even if ipfw then denies it).
+        self._egress_taps: List[Callable[[Packet], None]] = []
+        self._ingress_taps: List[Callable[[Packet], None]] = []
         self.iface = Interface("eth0")
         self.fw = Firewall(name=f"ipfw/{name}", metrics=getattr(sim, "metrics", None))
         self.tcp = TcpLayer(self, explicit_acks=tcp_explicit_acks)
@@ -100,27 +110,82 @@ class NetworkStack:
     def has_address(self, addr: Union[IPv4Address, str, int]) -> bool:
         return self.iface.has_address(addr)
 
+    # -- packet taps (sniffers) ------------------------------------------
+    def add_tap(
+        self, tap: Callable[[Packet], None], direction: str = DIR_OUT
+    ) -> None:
+        """Attach a packet tap. ``direction="out"`` observes egress
+        *after* the outgoing firewall allows the packet; ``"in"``
+        observes wire arrivals before the inbound verdict."""
+        taps = self._egress_taps if direction == DIR_OUT else self._ingress_taps
+        taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Packet], None]) -> None:
+        """Detach a tap from whichever direction it is attached to."""
+        for taps in (self._egress_taps, self._ingress_taps):
+            if tap in taps:
+                taps.remove(tap)
+
     # -- egress ------------------------------------------------------------
     def send_packet(self, pkt: Packet) -> None:
         """Emit a packet from this node (transport layers call this)."""
         self.packets_sent += 1
+        self.iface.count_tx(pkt.size)
+        sim = self.sim
+        flight = self.flight
+        if flight.enabled:
+            flight.send(pkt, self.name, sim.now)
         if pkt.src.value == pkt.dst.value:
             # True loopback (same identity): no firewall, no pipes,
             # constant kernel latency.
-            self.sim.schedule(self.loopback_delay, self._deliver_local, pkt)
+            if flight.enabled:
+                flight.loopback(
+                    pkt, self.name, sim.now, sim.now + self.loopback_delay
+                )
+            if self._egress_taps:
+                for tap in self._egress_taps:
+                    tap(pkt)
+            sim.schedule(self.loopback_delay, self._deliver_local, pkt)
             return
         verdict = self.fw.evaluate(pkt, DIR_OUT)
         extra = verdict.scanned * self.rule_eval_cost
         if not verdict.allowed:
             self.packets_denied += 1
+            if flight.enabled:
+                # The scan happened but the packet goes nowhere: record
+                # the verdict detail as an instant, then the denial. No
+                # sim latency is charged (no event is scheduled).
+                flight.ipfw(
+                    pkt, self.name, DIR_OUT, sim.now, sim.now,
+                    verdict.scanned, verdict.matched, self.fw.indexed,
+                )
+                flight.deny(pkt, self.name, sim.now, DIR_OUT)
             if pkt.on_drop is not None:
                 pkt.on_drop(pkt)
             return
+        if flight.enabled:
+            flight.ipfw(
+                pkt, self.name, DIR_OUT, sim.now, sim.now + extra,
+                verdict.scanned, verdict.matched, self.fw.indexed,
+            )
+        if self._egress_taps:
+            # After the allow verdict: denied packets never reach taps.
+            for tap in self._egress_taps:
+                tap(pkt)
         if self.iface.has_address(pkt.dst.value):
             # Co-hosted virtual nodes: traffic stays on this host (lo0)
             # but IPFW/Dummynet still shape it in both directions — this
             # is what keeps folded experiments faithful (Figure 9). The
             # loopback kernel cost also bounds callback recursion depth.
+            if flight.enabled:
+                # Boundaries use the same arithmetic _run_chain's
+                # schedule uses, so hops tile exactly.
+                flight.loopback(
+                    pkt,
+                    self.name,
+                    sim.now + extra,
+                    sim.now + (extra + self.loopback_delay),
+                )
             self._run_chain(
                 pkt, verdict.pipes, 0, self.receive_from_wire, extra + self.loopback_delay
             )
@@ -173,17 +238,37 @@ class NetworkStack:
     # -- ingress -------------------------------------------------------------
     def receive_from_wire(self, pkt: Packet) -> None:
         """Called by the switch when a packet arrives at this node."""
+        sim = self.sim
+        flight = self.flight
+        if self._ingress_taps:
+            # Before the inbound verdict: the packet did cross the wire.
+            for tap in self._ingress_taps:
+                tap(pkt)
         verdict = self.fw.evaluate(pkt, DIR_IN)
         extra = verdict.scanned * self.rule_eval_cost
         if not verdict.allowed:
             self.packets_denied += 1
+            if flight.enabled:
+                flight.ipfw(
+                    pkt, self.name, DIR_IN, sim.now, sim.now,
+                    verdict.scanned, verdict.matched, self.fw.indexed,
+                )
+                flight.deny(pkt, self.name, sim.now, DIR_IN)
             if pkt.on_drop is not None:
                 pkt.on_drop(pkt)
             return
+        if flight.enabled:
+            flight.ipfw(
+                pkt, self.name, DIR_IN, sim.now, sim.now + extra,
+                verdict.scanned, verdict.matched, self.fw.indexed,
+            )
         self._run_chain(pkt, verdict.pipes, 0, self._deliver_local, extra)
 
     def _deliver_local(self, pkt: Packet) -> None:
         self.packets_received += 1
+        self.iface.count_rx(pkt.size)
+        if self.flight.enabled:
+            self.flight.deliver(pkt, self.name, self.sim.now)
         proto = pkt.proto
         if proto == PROTO_TCP:
             self.tcp.handle_packet(pkt)

@@ -75,12 +75,14 @@ class Switch:
             bandwidth=self.port_bandwidth,
             delay=self.port_delay / 2,
             name=f"{self.name}.{stack.name}.tx",
+            owner=self.name,
         )
         rx = DummynetPipe(
             self.sim,
             bandwidth=self.port_bandwidth,
             delay=self.port_delay / 2,
             name=f"{self.name}.{stack.name}.rx",
+            owner=self.name,
         )
         port = Port(stack, tx, rx)
         self._ports[stack.name] = port

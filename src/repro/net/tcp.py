@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.net.addr import IPv4Address
 from repro.net.packet import Packet, PROTO_TCP, TCP_HEADER
+from repro.obs.flight import NULL_FLIGHT
 from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.process import Signal
 from repro.sim.resources import Channel
@@ -66,7 +67,7 @@ Endpoint = Tuple[IPv4Address, int]
 class _Segment:
     """Payload envelope carried inside a data/fin packet."""
 
-    __slots__ = ("seq", "payload", "size", "ack_hook", "acked", "sent_at")
+    __slots__ = ("seq", "payload", "size", "ack_hook", "acked", "sent_at", "last_pkt_id")
 
     def __init__(self, seq: int, payload: Any, size: int, ack_hook: Callable[["_Segment"], None]) -> None:
         self.seq = seq
@@ -77,6 +78,9 @@ class _Segment:
         #: Sim-time of the most recent (re)transmission — the basis of
         #: the ``net.tcp.rtt_seconds`` samples.
         self.sent_at: Optional[float] = None
+        #: Packet id of the most recent (re)transmission, for the
+        #: flight recorder's ack hop (None when flights are off).
+        self.last_pkt_id: Optional[int] = None
 
 
 class Connection:
@@ -130,6 +134,8 @@ class Connection:
         self._m_retx = registry.counter("net.tcp.retransmissions")
         self._m_segments = registry.counter("net.tcp.segments_sent")
         self._m_rtt = registry.histogram("net.tcp.rtt_seconds")
+        # Flight recorder, cached at construction (NULL when disabled).
+        self._flight = getattr(self.sim, "flight", NULL_FLIGHT)
 
     # -- sending -------------------------------------------------------
     def send(self, payload: Any, size: int) -> Signal:
@@ -177,6 +183,14 @@ class Connection:
         )
         pkt.on_drop = lambda _pkt, seg=seg, kind=kind: self._on_segment_dropped(seg, kind)
         seg.sent_at = self.sim.now
+        if self._flight.enabled:
+            # Stamp the connection-level flow label so every segment
+            # (and each retransmission attempt) groups under it.
+            pkt.flow = (
+                f"tcp:{self.local[0]}:{self.local[1]}->"
+                f"{self.remote[0]}:{self.remote[1]}"
+            )
+            seg.last_pkt_id = pkt.id
         self._m_segments.inc()
         self.tcp.stack.send_packet(pkt)
         if kind == KIND_DATA:
@@ -211,7 +225,12 @@ class Connection:
             # Sim-time round-trip sample: with explicit ACKs this is a
             # true RTT; in the default window-credit shortcut it is the
             # one-way delivery time standing in for it.
-            self._m_rtt.observe(self.sim.now - seg.sent_at)
+            rtt = self.sim.now - seg.sent_at
+            self._m_rtt.observe(rtt)
+            if self._flight.enabled and seg.last_pkt_id is not None:
+                self._flight.ack(
+                    seg.last_pkt_id, self.tcp.stack.name, self.sim.now, rtt
+                )
         self._retries.pop(seg.seq, None)
         self._in_flight -= seg.size
         self._pump()

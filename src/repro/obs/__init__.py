@@ -7,8 +7,18 @@ One deterministic measurement substrate for the whole platform:
 * :class:`Tracer` / :class:`Span` — timeline spans keyed to sim-time;
 * :class:`RunManifest` — per-run provenance (seed, topology hash,
   versions, clocks, event counts);
-* ``NULL_REGISTRY`` / ``NULL_TRACER`` — shared no-op instruments for
-  zero-overhead disabled mode (``Simulator(..., observe=False)``).
+* :class:`FlightRecorder` — per-packet hop-by-hop lifecycle records
+  (NIC → ipfw → pipes → delivery → ack) with exact latency
+  decompositions;
+* :class:`EventLoopProfiler` — wall-time per handler category on the
+  sim kernel (wall data: never in deterministic snapshots);
+* :class:`TimeSeriesSampler` — periodic registry diffs as
+  deterministic per-metric series;
+* :mod:`repro.obs.chrometrace` — Chrome Trace Event / Perfetto export
+  merging flights, spans, trace records and time-series;
+* ``NULL_REGISTRY`` / ``NULL_TRACER`` / ``NULL_FLIGHT`` /
+  ``NULL_PROFILER`` — shared no-op instruments for zero-overhead
+  disabled mode (``Simulator(..., observe=False)``).
 
 The rule that makes this trustworthy: anything recorded from
 simulation state is deterministic and appears in
@@ -17,6 +27,20 @@ wall clock is flagged ``wall=True`` and stays out of the snapshot
 (it belongs in the manifest or in explicitly wall-labelled exports).
 """
 
+from repro.obs.chrometrace import (
+    TraceLayout,
+    chrome_trace_document,
+    chrome_trace_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    Hop,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    PacketFlight,
+)
 from repro.obs.manifest import RunManifest, topology_fingerprint
 from repro.obs.metrics import (
     BYTES_EDGES,
@@ -30,23 +54,45 @@ from repro.obs.metrics import (
     Snapshot,
     diff_snapshots,
 )
+from repro.obs.profile import (
+    EventLoopProfiler,
+    NULL_PROFILER,
+    NullEventLoopProfiler,
+    categorize,
+)
 from repro.obs.span import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.timeseries import TimeSeriesSampler
 
 __all__ = [
     "BYTES_EDGES",
     "Counter",
     "DEFAULT_EDGES",
+    "EventLoopProfiler",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "Hop",
     "MetricsRegistry",
+    "NULL_FLIGHT",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullEventLoopProfiler",
+    "NullFlightRecorder",
     "NullMetricsRegistry",
     "NullTracer",
+    "PacketFlight",
     "RunManifest",
     "Snapshot",
     "Span",
+    "TimeSeriesSampler",
+    "TraceLayout",
     "Tracer",
+    "categorize",
+    "chrome_trace_document",
+    "chrome_trace_json",
     "diff_snapshots",
     "topology_fingerprint",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

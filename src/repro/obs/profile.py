@@ -1,0 +1,171 @@
+"""Event-loop profiler: wall-time per handler category.
+
+The folding-fidelity question the paper's "note of caution" raises is
+*which layer burns host CPU* as the vnodes-per-pnode ratio grows: at
+folding factor 80, is the host busy in the firewall scan, the pipe
+events, or the BitTorrent client logic? This profiler answers that by
+attributing every event callback's wall-clock duration to a handler
+category derived from the callback's defining module/class
+(``net.pipe``, ``net.tcp.Connection``, ``bt.client``, ``sim.process``,
+...).
+
+Wall-clock rule: everything recorded here comes from the host's clock
+and is therefore **never** part of a deterministic snapshot or a
+byte-identity export. The chrometrace exporter only includes profiler
+data when explicitly asked (``include_profile=True``), and the
+``python -m repro trace`` CLI labels such output non-reproducible.
+
+Disabled mode is :data:`NULL_PROFILER` (shared no-op), following the
+NULL-instrument convention: the kernel's run loop tests one attribute
+per run and pays nothing per event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+
+def categorize(callback: Callable[..., Any]) -> str:
+    """Handler category of a callback: ``layer.component[.Class]``.
+
+    Derived from the callback's defining module (with the package
+    prefix stripped) plus the class name for bound methods —
+    ``repro.net.pipe.DummynetPipe.transmit`` → ``net.pipe``;
+    a bound ``Connection._retransmit`` → ``net.tcp.Connection``.
+    """
+    func = getattr(callback, "__func__", callback)
+    module = getattr(func, "__module__", None) or "unknown"
+    if module.startswith("repro."):
+        module = module[len("repro."):]
+    qualname = getattr(func, "__qualname__", getattr(func, "__name__", "?"))
+    cls = qualname.split(".")[0] if "." in qualname else None
+    owner = getattr(callback, "__self__", None)
+    if owner is not None and cls is not None:
+        return f"{module}.{cls}"
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        return f"{module}.<local>"
+    return module
+
+
+class EventLoopProfiler:
+    """Accumulates per-category event counts and wall seconds."""
+
+    enabled = True
+
+    __slots__ = ("_stats", "_cache", "events", "wall_seconds")
+
+    def __init__(self) -> None:
+        #: category -> [events, wall_seconds]
+        self._stats: Dict[str, List[float]] = {}
+        #: categorization cache keyed by the callback's underlying code
+        #: object (bound methods share one function per class).
+        self._cache: Dict[int, str] = {}
+        self.events = 0
+        self.wall_seconds = 0.0
+
+    def record(self, callback: Callable[..., Any], wall: float) -> None:
+        """Attribute one callback invocation of ``wall`` seconds."""
+        func = getattr(callback, "__func__", callback)
+        code = getattr(func, "__code__", func)
+        key = id(code)
+        category = self._cache.get(key)
+        if category is None:
+            category = categorize(callback)
+            self._cache[key] = category
+        stat = self._stats.get(category)
+        if stat is None:
+            stat = [0, 0.0]
+            self._stats[category] = stat
+        stat[0] += 1
+        stat[1] += wall
+        self.events += 1
+        self.wall_seconds += wall
+
+    # -- views ---------------------------------------------------------
+    def report(self) -> List[Tuple[str, int, float]]:
+        """``(category, events, wall_seconds)`` rows, hottest first."""
+        rows = [
+            (name, int(stat[0]), stat[1]) for name, stat in self._stats.items()
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        return rows
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{category: {events, wall_seconds, wall_fraction}}`` (wall data —
+        keep out of deterministic exports)."""
+        total = self.wall_seconds or 1.0
+        return {
+            name: {
+                "events": int(stat[0]),
+                "wall_seconds": stat[1],
+                "wall_fraction": stat[1] / total,
+            }
+            for name, stat in sorted(self._stats.items())
+        }
+
+    def format(self, top: int = 15) -> str:
+        """Human-readable table of the hottest handler categories."""
+        rows = self.report()[:top]
+        if not rows:
+            return "(no events profiled)"
+        width = max(len(name) for name, _, _ in rows)
+        lines = [
+            f"{'category':<{width}}  {'events':>10}  {'wall (s)':>10}  {'share':>6}"
+        ]
+        total = self.wall_seconds or 1.0
+        for name, events, wall in rows:
+            lines.append(
+                f"{name:<{width}}  {events:>10}  {wall:>10.4f}  {wall / total:>5.1%}"
+            )
+        lines.append(
+            f"{'TOTAL':<{width}}  {self.events:>10}  {self.wall_seconds:>10.4f}"
+        )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self.events = 0
+        self.wall_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventLoopProfiler({len(self._stats)} categories, "
+            f"{self.events} events, {self.wall_seconds:.3f}s)"
+        )
+
+
+class NullEventLoopProfiler:
+    """Do-nothing profiler (the default on every simulator)."""
+
+    __slots__ = ()
+    enabled = False
+    events = 0
+    wall_seconds = 0.0
+
+    def record(self, callback: Callable[..., Any], wall: float) -> None:
+        pass
+
+    def report(self) -> List[Tuple[str, int, float]]:
+        return []
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def format(self, top: int = 15) -> str:
+        return "(profiler disabled)"
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullEventLoopProfiler()"
+
+
+#: Shared disabled profiler.
+NULL_PROFILER = NullEventLoopProfiler()

@@ -71,7 +71,16 @@ class Span:
 
 
 class _SpanContext:
-    """``with tracer.span("x"):`` support."""
+    """``with tracer.span("x"):`` support.
+
+    ``__exit__`` must be safe under exception unwinds: if the span was
+    already closed — e.g. an inner handler ended an *outer* span, which
+    cascades and closes this one too — exiting is a no-op rather than
+    an :class:`ObservabilityError` that would mask the in-flight
+    exception. When an exception is propagating, the span is annotated
+    with the exception type (deterministic: just the class name) before
+    it closes, so traces show which phases aborted.
+    """
 
     __slots__ = ("_tracer", "_span")
 
@@ -83,7 +92,12 @@ class _SpanContext:
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._tracer.end(self._span)
+        span = self._span
+        if span.end is not None or span not in self._tracer._stack:
+            return  # already closed by an outer unwind
+        if exc_type is not None:
+            span.annotate(error=exc_type.__name__)
+        self._tracer.end(span)
 
 
 class Tracer:

@@ -6,7 +6,9 @@ from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.flight import FlightRecorder, NULL_FLIGHT
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.profile import EventLoopProfiler, NULL_PROFILER
 from repro.obs.span import NULL_TRACER, Tracer
 from repro.sim.event import Event, EventQueue, PRIORITY_NORMAL
 from repro.sim.rng import RngRegistry
@@ -30,6 +32,13 @@ class Simulator:
         Root seed for the experiment's :class:`~repro.sim.rng.RngRegistry`.
         All stochastic components derive their streams from it, making
         runs exactly reproducible.
+    observe:
+        ``False`` swaps every instrument for its shared NULL no-op.
+    flight:
+        ``True`` (and ``observe=True``) attaches a
+        :class:`~repro.obs.flight.FlightRecorder` as ``sim.flight`` so
+        the network layers record per-packet hop-by-hop lifecycles.
+        Off by default: flights cost memory proportional to traffic.
 
     Examples
     --------
@@ -41,7 +50,9 @@ class Simulator:
     (2.5, ['hello'])
     """
 
-    def __init__(self, seed: int = 0, observe: bool = True) -> None:
+    def __init__(
+        self, seed: int = 0, observe: bool = True, flight: bool = False
+    ) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self.rng = RngRegistry(seed)
@@ -58,6 +69,13 @@ class Simulator:
         else:
             self.metrics = NULL_REGISTRY
             self.tracer = NULL_TRACER
+        #: Per-packet lifecycle recorder (NULL no-op unless requested).
+        #: Network components cache this at construction, so it must be
+        #: chosen before any stack/pipe/switch is built.
+        self.flight = FlightRecorder() if (observe and flight) else NULL_FLIGHT
+        #: Event-loop profiler (wall-clock; NULL no-op by default).
+        #: Enable with :meth:`enable_profiler` *before* ``run()``.
+        self.profiler = NULL_PROFILER
         #: When True, each callback's wall-clock duration is recorded
         #: into the ``sim.kernel.callback_seconds`` histogram (a *wall*
         #: metric — excluded from deterministic snapshots).
@@ -68,6 +86,16 @@ class Simulator:
         self._m_callback = self.metrics.histogram(
             "sim.kernel.callback_seconds", edges=CALLBACK_SECONDS_EDGES, wall=True
         )
+
+    def enable_profiler(self) -> EventLoopProfiler:
+        """Attach (and return) a live :class:`EventLoopProfiler`.
+
+        Idempotent: repeated calls return the same profiler. Wall-clock
+        data only — never part of deterministic snapshots.
+        """
+        if not self.profiler.enabled:
+            self.profiler = EventLoopProfiler()
+        return self.profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -128,8 +156,11 @@ class Simulator:
         self._stopped = False
         queue = self._queue
         processed = 0
-        profile = self.profile_callbacks
+        profiler = self.profiler
+        profile_cb = self.profile_callbacks
+        profile = profile_cb or profiler.enabled
         observe_cb = self._m_callback.observe
+        record_prof = profiler.record if profiler.enabled else None
         try:
             while queue:
                 if self._stopped:
@@ -152,7 +183,11 @@ class Simulator:
                 if profile:
                     t0 = perf_counter()
                     callback(*args)
-                    observe_cb(perf_counter() - t0)
+                    wall = perf_counter() - t0
+                    if profile_cb:
+                        observe_cb(wall)
+                    if record_prof is not None:
+                        record_prof(callback, wall)
                 else:
                     callback(*args)
                 processed += 1

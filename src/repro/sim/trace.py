@@ -54,10 +54,34 @@ class TraceRecorder:
     def enabled(self, category: str) -> bool:
         return category in self._enabled
 
+    def categories(self) -> "set[str]":
+        """The categories currently being recorded (a copy)."""
+        return set(self._enabled)
+
     def subscribe(self, category: str, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener`` for every record of ``category`` (implies enable)."""
         self.enable(category)
         self._listeners.setdefault(category, []).append(listener)
+
+    def unsubscribe(
+        self, category: str, listener: Callable[[TraceRecord], None]
+    ) -> None:
+        """Detach one listener mid-run.
+
+        The category stays enabled (recording was requested via
+        :meth:`enable`, possibly implicitly) — call :meth:`disable`
+        to silence it entirely. Unknown listeners are a no-op so
+        teardown code can unsubscribe unconditionally.
+        """
+        listeners = self._listeners.get(category)
+        if not listeners:
+            return
+        try:
+            listeners.remove(listener)
+        except ValueError:
+            return
+        if not listeners:
+            del self._listeners[category]
 
     def record(self, time: float, category: str, **fields: Any) -> None:
         """Append a record if its category is enabled."""
@@ -85,7 +109,16 @@ class TraceRecorder:
         return len(self._records)
 
     def clear(self) -> None:
+        """Drop accumulated records; categories and listeners persist
+        (mid-run truncation between measurement windows)."""
         self._records.clear()
+
+    def reset(self) -> None:
+        """Full reset: records, enabled categories *and* listeners —
+        back to the freshly-constructed state."""
+        self._records.clear()
+        self._enabled.clear()
+        self._listeners.clear()
 
 
 class _Missing:

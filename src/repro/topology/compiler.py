@@ -76,6 +76,7 @@ class TopologyCompiler:
             delay=group.latency,
             plr=group.plr,
             name=f"up/{addr}",
+            owner=vnode.pnode.name,
         )
         down = DummynetPipe(
             sim,
@@ -83,6 +84,7 @@ class TopologyCompiler:
             delay=group.latency,
             plr=group.plr,
             name=f"down/{addr}",
+            owner=vnode.pnode.name,
         )
         fw.add_pipe(pipe_base, up)
         fw.add_pipe(pipe_base + 1, down)
@@ -107,6 +109,7 @@ class TopologyCompiler:
                     sim,
                     delay=latency,
                     name=f"grp/{pnode.name}/{src_net}->{dst_net}",
+                    owner=pnode.name,
                 )
                 pnode.stack.fw.add(
                     ACTION_PIPE,

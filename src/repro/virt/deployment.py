@@ -41,10 +41,15 @@ class Testbed:
         ncpus: int = 2,
         enforce_cpu: bool = False,
         tcp_explicit_acks: bool = False,
+        observe: bool = True,
+        flight: bool = False,
     ) -> None:
         if num_pnodes < 1:
             raise VirtualizationError(f"need at least one physical node, got {num_pnodes}")
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.sim = (
+            sim if sim is not None
+            else Simulator(seed=seed, observe=observe, flight=flight)
+        )
         self.admin_network = network(admin_network)
         if num_pnodes >= self.admin_network.num_addresses - 1:
             raise VirtualizationError(

@@ -330,3 +330,100 @@ class TestEndToEndDeterminism:
         assert manifest.seed == 9
         assert manifest.events_processed == swarm.sim.events_processed
         assert manifest.topology_hash == topology_fingerprint(swarm.spec)
+
+
+# ----------------------------------------------------------------------
+# Span unwinding under exceptions
+# ----------------------------------------------------------------------
+
+
+class TestSpanUnwind:
+    def test_exception_closes_span_and_annotates(self):
+        sim = Simulator()
+        tracer = sim.tracer
+        with pytest.raises(ValueError):
+            with tracer.span("phase"):
+                sim.now  # touch the clock
+                raise ValueError("boom")
+        assert tracer.depth == 0
+        (span,) = tracer.select("phase")
+        assert span.end is not None
+        assert span.fields["error"] == "ValueError"
+
+    def test_nested_exception_unwinds_whole_stack(self):
+        sim = Simulator()
+        tracer = sim.tracer
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("deep")
+        assert tracer.depth == 0
+        assert {s.name for s in tracer.finished} == {"outer", "inner"}
+        assert tracer.select("inner")[0].fields["error"] == "RuntimeError"
+        assert tracer.select("outer")[0].fields["error"] == "RuntimeError"
+
+    def test_outer_end_inside_context_does_not_raise_on_exit(self):
+        """Ending an *outer* span cascades; the inner context manager
+        must tolerate its span having been closed already (previously
+        this raised and masked whatever was happening)."""
+        sim = Simulator()
+        tracer = sim.tracer
+        outer = tracer.begin("outer")
+        with tracer.span("inner"):
+            tracer.end(outer)  # closes inner too
+        assert tracer.depth == 0
+        assert len(tracer.finished) == 2
+
+    def test_explicit_double_end_still_raises(self):
+        tracer = Tracer(lambda: 0.0)
+        span = tracer.begin("x")
+        tracer.end(span)
+        with pytest.raises(ObservabilityError):
+            tracer.end(span)
+
+
+# ----------------------------------------------------------------------
+# TraceRecorder mid-run control
+# ----------------------------------------------------------------------
+
+
+class TestTraceRecorderControl:
+    def test_enable_disable_mid_run(self):
+        sim = Simulator()
+        sim.trace.enable("cat.a")
+        sim.trace.record(0.0, "cat.a", n=1)
+        sim.trace.disable("cat.a")
+        sim.trace.record(1.0, "cat.a", n=2)
+        sim.trace.enable("cat.a")
+        sim.trace.record(2.0, "cat.a", n=3)
+        assert [r.get("n") for r in sim.trace.select("cat.a")] == [1, 3]
+        assert sim.trace.categories() == {"cat.a"}
+
+    def test_unsubscribe_mid_run(self):
+        sim = Simulator()
+        seen = []
+        listener = seen.append
+        sim.trace.subscribe("cat.b", listener)
+        sim.trace.record(0.0, "cat.b")
+        sim.trace.unsubscribe("cat.b", listener)
+        sim.trace.record(1.0, "cat.b")
+        assert len(seen) == 1
+        # Category stays enabled: records keep accumulating.
+        assert len(list(sim.trace.select("cat.b"))) == 2
+        # Unknown unsubscribes are no-ops.
+        sim.trace.unsubscribe("cat.b", listener)
+        sim.trace.unsubscribe("never-enabled", listener)
+
+    def test_clear_keeps_listeners_reset_drops_them(self):
+        sim = Simulator()
+        seen = []
+        sim.trace.subscribe("cat.c", seen.append)
+        sim.trace.record(0.0, "cat.c")
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+        sim.trace.record(1.0, "cat.c")
+        assert len(seen) == 2  # listener survived clear()
+        sim.trace.reset()
+        sim.trace.record(2.0, "cat.c")
+        assert len(sim.trace) == 0  # category gone after reset()
+        assert len(seen) == 2
