@@ -1,0 +1,123 @@
+"""Rule-scan microbenchmark: ipfw flow cache vs full linear scan.
+
+Pits ``Firewall(flow_cache=True)`` against ``Firewall(flow_cache=False)``
+(the pre-optimisation reference, also selected process-wide by
+``REPRO_SLOW_PATH=1``) on the workload the cache targets: the paper's
+emulation rulesets are dominated by long runs of generic (no-port)
+pipe/count rules that every packet of a flow re-scans identically.
+P2PLab's figure-6 experiment is exactly this shape — per-pair latency
+rules scanned linearly for every packet.
+
+Workload: ``RULES`` generic COUNT rules over distinct /16 networks with
+a terminal ALLOW, evaluated over ``FLOWS`` distinct (src, dst) flows for
+``EVALS`` total packet evaluations. With the cache on, each flow pays
+one full scan and then hits; with it off, every packet pays the scan.
+
+The bench asserts the two firewalls agree on the accounting the
+figures depend on (``rules_scanned_total``, ``packets_evaluated``,
+per-rule hit counts) — the cache must be an optimisation, not a
+semantic change — and gates on a **2x** throughput floor (measured
+speedups are far higher; the floor is deliberately conservative so CI
+noise cannot flake the gate).
+
+Scale: ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the
+evaluation count — CI smoke runs use 0.1.
+"""
+
+import os
+import time
+
+from repro.net.addr import IPv4Network, ip
+from repro.net.ipfw import ACTION_ALLOW, ACTION_COUNT, Firewall
+from repro.net.packet import PROTO_TCP, Packet
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0") or "1.0")
+
+#: Ruleset shape: long generic run + terminal allow (the paper's
+#: inter-group latency rules compile to exactly this pattern).
+RULES = 400
+#: Distinct flows — small relative to EVALS so cache hits dominate.
+FLOWS = 64
+#: Total packet evaluations.
+EVALS = max(2000, int(20_000 * SCALE))
+
+#: Gate: cached evaluation must be at least this much faster.
+MIN_SPEEDUP = 2.0
+
+
+def build_firewall(flow_cache: bool) -> Firewall:
+    fw = Firewall(name="bench", flow_cache=flow_cache)
+    for i in range(RULES):
+        fw.add(
+            ACTION_COUNT,
+            src=IPv4Network(f"10.{i % 200}.0.0/16"),
+            dst=IPv4Network(f"172.{i % 100}.0.0/16"),
+        )
+    fw.add(ACTION_ALLOW)
+    return fw
+
+
+def build_flows(n: int = FLOWS):
+    flows = []
+    for i in range(n):
+        src = ip(f"10.{i % 200}.1.{1 + i % 250}")
+        dst = ip(f"172.{i % 100}.2.{1 + (i * 7) % 250}")
+        flows.append(Packet(src, dst, PROTO_TCP, 1500, sport=1000 + i, dport=6881))
+    return flows
+
+
+def evaluate_all(fw: Firewall, flows, evals: int = EVALS) -> float:
+    """Evaluate ``evals`` packets round-robin over ``flows``; return wall."""
+    evaluate = fw.evaluate
+    n = len(flows)
+    t0 = time.perf_counter()
+    for i in range(evals):
+        evaluate(flows[i % n], "out")
+    return time.perf_counter() - t0
+
+
+def test_ipfw_flow_cache_speedup(benchmark, bench_json):
+    flows = build_flows()
+
+    # Warm-up (interpreter caches) on small firewalls.
+    evaluate_all(build_firewall(True), flows, evals=500)
+    evaluate_all(build_firewall(False), flows, evals=500)
+
+    fw_fast = build_firewall(True)
+    fw_slow = build_firewall(False)
+
+    fast_wall = benchmark.pedantic(
+        evaluate_all, args=(fw_fast, flows), rounds=1, iterations=1
+    )
+    slow_wall = evaluate_all(fw_slow, flows)
+    speedup = slow_wall / fast_wall
+
+    # The cache must not change the accounting the figures read.
+    assert fw_fast.packets_evaluated == fw_slow.packets_evaluated == EVALS
+    assert fw_fast.rules_scanned_total == fw_slow.rules_scanned_total
+    fast_hits = [r.hits for r in fw_fast.rules]
+    slow_hits = [r.hits for r in fw_slow.rules]
+    assert fast_hits == slow_hits
+    assert fw_fast.flow_cache_hits == EVALS - FLOWS
+
+    bench_json(
+        "ipfw",
+        rules=RULES,
+        flows=FLOWS,
+        evals=EVALS,
+        fast_wall_seconds=round(fast_wall, 6),
+        slow_wall_seconds=round(slow_wall, 6),
+        speedup=round(speedup, 3),
+        evals_per_second_fast=round(EVALS / fast_wall),
+        evals_per_second_slow=round(EVALS / slow_wall),
+        rules_scanned_total=fw_fast.rules_scanned_total,
+    )
+    print(
+        f"\nipfw evaluate: cached={fast_wall:.3f}s scan={slow_wall:.3f}s "
+        f"-> {speedup:.1f}x over {RULES} rules / {FLOWS} flows\n"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"flow cache only {speedup:.2f}x over the linear scan "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -15,11 +15,24 @@ Baselines, in order of preference:
   (recorded automatically when a run overwrites an older file) is used
   when present; figures without one are reported as NEW and pass.
 
+A missing baseline directory, a baseline covering a different figure
+set, or an absent ``previous_wall_seconds`` are all **warnings**, not
+errors: baselines drift naturally as figures are added and benchmark
+files are regenerated, and the checker must stay usable on a fresh
+checkout. Only actual regressions (and, under ``--gate``, a hot-path
+speedup below its floor) fail.
+
+``--gate`` additionally enforces the hot-path speedup floors the
+perf-sensitive microbenches record (``metrics.speedup`` in
+``BENCH_kernel.json`` / ``BENCH_ipfw.json`` must stay >= 2x). CI's
+bench-smoke job runs in this mode.
+
 Usage::
 
     python benchmarks/compare.py                      # self-compare
     python benchmarks/compare.py --baseline old/      # vs checkout
     python benchmarks/compare.py --threshold 0.10     # stricter gate
+    python benchmarks/compare.py --gate               # CI mode
 """
 
 from __future__ import annotations
@@ -33,10 +46,18 @@ from typing import Dict, Optional
 DEFAULT_THRESHOLD = 0.25
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: Hot-path microbenches record a fast/slow ``speedup`` metric; under
+#: ``--gate`` it must stay at or above this floor (the optimisation's
+#: contract, matching the asserts inside the benches themselves).
+SPEEDUP_GATES = {"kernel": 2.0, "ipfw": 2.0}
+
 
 def load_bench_files(directory: pathlib.Path) -> Dict[str, dict]:
     """``{figure_id: document}`` for every BENCH_*.json in ``directory``."""
     docs: Dict[str, dict] = {}
+    if not directory.is_dir():
+        print(f"warning: no such baseline directory: {directory}", file=sys.stderr)
+        return docs
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             doc = json.loads(path.read_text())
@@ -68,14 +89,32 @@ def run(
     current_dir: pathlib.Path,
     baseline_dir: Optional[pathlib.Path],
     threshold: float,
+    gate: bool = False,
 ) -> int:
     current = load_bench_files(current_dir)
     if not current:
         print(f"no BENCH_*.json files found in {current_dir}", file=sys.stderr)
         return 2
     baseline = load_bench_files(baseline_dir) if baseline_dir else {}
+    if baseline_dir and baseline:
+        # Warn (don't fail) on figure-set drift between the two runs.
+        only_base = sorted(set(baseline) - set(current))
+        only_cur = sorted(set(current) - set(baseline))
+        if only_base:
+            print(
+                "warning: baseline figures absent from current run: "
+                + ", ".join(only_base),
+                file=sys.stderr,
+            )
+        if only_cur:
+            print(
+                "warning: current figures absent from baseline "
+                "(compared as NEW): " + ", ".join(only_cur),
+                file=sys.stderr,
+            )
 
     regressions = []
+    gate_failures = []
     width = max(len(f) for f in current)
     print(f"{'figure':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}  verdict")
     for figure in sorted(current):
@@ -96,7 +135,18 @@ def run(
         base_s = f"{base:10.3f}" if base else f"{'-':>10}"
         wall_s = f"{wall:10.3f}" if wall is not None else f"{'-':>10}"
         print(f"{figure:<{width}}  {base_s}  {wall_s}  {delta}  {verdict}")
+        if gate and figure in SPEEDUP_GATES:
+            floor = SPEEDUP_GATES[figure]
+            speedup = (doc.get("metrics") or {}).get("speedup")
+            if speedup is None or speedup < floor:
+                gate_failures.append(f"{figure} (speedup={speedup}, floor={floor}x)")
 
+    if gate_failures:
+        print(
+            f"\nFAIL: hot-path speedup gate: {'; '.join(gate_failures)}",
+            file=sys.stderr,
+        )
+        return 1
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} figure(s) regressed more than "
@@ -129,8 +179,14 @@ def main(argv=None) -> int:
         default=DEFAULT_THRESHOLD,
         help="relative wall-clock regression that fails the check (default 0.25)",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="also enforce the hot-path speedup floors recorded by "
+        "bench_kernel/bench_ipfw (CI mode)",
+    )
     args = parser.parse_args(argv)
-    return run(args.current, args.baseline, args.threshold)
+    return run(args.current, args.baseline, args.threshold, gate=args.gate)
 
 
 if __name__ == "__main__":

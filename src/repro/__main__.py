@@ -21,6 +21,8 @@ Examples::
     python -m repro sweep fig6 --parallel 4 --out sweep.json
     python -m repro sweep fig6 --parallel 2 rule_count=0,10000,20000
     python -m repro sweep fig10 --replications 3 --resume --checkpoint ck.jsonl
+    python -m repro bench kernel ipfw --compare
+    python -m repro bench --smoke --compare
 """
 
 from __future__ import annotations
@@ -384,6 +386,78 @@ def run_trace(argv: List[str]) -> int:
     return 0
 
 
+def run_bench(argv: List[str]) -> int:
+    """``python -m repro bench [figure ...] [--compare] [--smoke]``.
+
+    Runs the microbenchmark suite (``benchmarks/bench_*.py``) through
+    pytest in a subprocess, so benches work without remembering the
+    pytest incantation. Each bench drops its ``BENCH_<figure>.json``
+    at the repo root (see ``benchmarks/conftest.py``).
+
+    * ``figure`` — one or more substrings selecting bench files
+      (``kernel`` -> ``bench_kernel.py``, ``fig06`` ->
+      ``bench_fig06_rule_scaling.py``); default: all benches.
+    * ``--compare`` — afterwards run ``benchmarks/compare.py`` against
+      each file's embedded previous wall-clock and fail on >25%
+      regression (plus the hot-path speedup floors).
+    * ``--smoke`` — reduced scale (``REPRO_BENCH_SCALE=0.1``), what CI
+      uses.
+    """
+    import os
+    import pathlib
+    import subprocess
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the microbenchmark suite (pytest benchmarks/).",
+    )
+    parser.add_argument(
+        "figures", nargs="*",
+        help="bench file substrings (e.g. 'kernel', 'ipfw', 'fig06'); default all",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="run benchmarks/compare.py --gate after the benches",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scale (REPRO_BENCH_SCALE=0.1)",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    if args.figures:
+        targets: List[str] = []
+        for fig in args.figures:
+            matches = sorted(bench_dir.glob(f"bench_*{fig}*.py"))
+            if not matches:
+                print(f"no benchmark matches {fig!r} in {bench_dir}", file=sys.stderr)
+                return 2
+            targets.extend(str(p) for p in matches)
+    else:
+        targets = [str(bench_dir)]
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if args.smoke:
+        env["REPRO_BENCH_SCALE"] = "0.1"
+    cmd = [sys.executable, "-m", "pytest", "-q", *dict.fromkeys(targets)]
+    print(f"== bench: {' '.join(cmd[3:])} ==", file=sys.stderr)
+    status = subprocess.call(cmd, cwd=repo_root, env=env)
+    if status != 0:
+        return status
+    if args.compare:
+        status = subprocess.call(
+            [sys.executable, str(bench_dir / "compare.py"), "--gate"],
+            cwd=repo_root,
+            env=env,
+        )
+    return status
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -391,13 +465,16 @@ def main(argv: List[str] | None = None) -> int:
         return run_sweep(list(argv[1:]))
     if argv and argv[0] == "trace":
         return run_trace(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        return run_bench(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate a figure/table of the P2PLab paper.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'list', 'all', 'metrics', 'trace', or 'sweep'",
+        help="experiment id (see 'list'), 'list', 'all', 'metrics', "
+        "'trace', 'sweep', or 'bench'",
     )
     parser.add_argument(
         "overrides",

@@ -15,14 +15,29 @@ rule, so one packet can be shaped by several pipes (per-node access
 link, then inter-group delay). With a single linear scan that collects
 every matching pipe, the number of rules scanned equals the index where
 evaluation terminates — identical to the re-injection accounting.
+
+Hot path: a **verdict flow cache** memoises
+``(src, dst, proto, direction) -> Verdict`` — the discrete-event
+analogue of ipfw's dynamic/``check-state`` rules. Rules match on
+exactly those four fields, so the key fully determines the verdict for
+a given rule list; steady BitTorrent flows pay the linear scan once
+and O(1) afterwards. A cache *hit replays* the original verdict's full
+accounting (``scanned`` charge, per-rule ``hits``, registry counters),
+so emulated latency, metrics snapshots and fig6's linear-vs-indexed
+comparison are byte-identical with the cache on or off — only wall
+clock changes. The cache is invalidated by every mutating operation
+(``add``/``delete``/``flush``/``add_pipe``) and by flipping
+``indexed``. ``REPRO_SLOW_PATH=1`` (see :mod:`repro.hotpath`) disables
+it by default.
 """
 
 from __future__ import annotations
 
 from bisect import insort
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import FirewallError
+from repro.hotpath import SLOW_PATH
 from repro.net.addr import IPv4Address, IPv4Network
 from repro.net.packet import Packet
 from repro.net.pipe import DummynetPipe
@@ -48,10 +63,53 @@ def _match_addr(matcher: AddrMatch, value: int) -> bool:
     return matcher.value == value
 
 
+def _compile_match(
+    direction: Optional[str],
+    proto: Optional[str],
+    src: AddrMatch,
+    dst: AddrMatch,
+) -> Callable[[Packet, str], bool]:
+    """Build a per-rule match closure specialised to the fields set.
+
+    The generic :meth:`Rule.matches` walk re-tests every field (and its
+    ``None``-ness) per packet; the closure captures the constants once
+    and skips absent fields entirely — the precomputed match predicate
+    of the hot-path overhaul.
+    """
+    src_exact = src.value if type(src) is IPv4Address else None
+    dst_exact = dst.value if type(dst) is IPv4Address else None
+    src_net = (src.mask, src.address.value) if type(src) is IPv4Network else None
+    dst_net = (dst.mask, dst.address.value) if type(dst) is IPv4Network else None
+
+    def match(packet: Packet, pdir: str) -> bool:
+        if direction is not None and direction != pdir:
+            return False
+        if proto is not None and proto != packet.proto:
+            return False
+        if src_exact is not None:
+            if packet.src.value != src_exact:
+                return False
+        elif src_net is not None:
+            if (packet.src.value & src_net[0]) != src_net[1]:
+                return False
+        if dst_exact is not None:
+            if packet.dst.value != dst_exact:
+                return False
+        elif dst_net is not None:
+            if (packet.dst.value & dst_net[0]) != dst_net[1]:
+                return False
+        return True
+
+    return match
+
+
 class Rule:
     """One firewall rule, ordered by its rule number."""
 
-    __slots__ = ("number", "action", "pipe", "proto", "src", "dst", "direction", "hits")
+    __slots__ = (
+        "number", "action", "pipe", "proto", "src", "dst", "direction", "hits",
+        "match",
+    )
 
     def __init__(
         self,
@@ -79,6 +137,10 @@ class Rule:
         self.dst = dst
         self.direction = direction
         self.hits = 0
+        #: Precompiled match predicate (same truth table as
+        #: :meth:`matches`, with the per-field dispatch hoisted out of
+        #: the per-packet path).
+        self.match = _compile_match(direction, proto, src, dst)
 
     def matches(self, packet: Packet, direction: str) -> bool:
         """Does this rule match ``packet`` travelling ``direction``?"""
@@ -149,15 +211,36 @@ class Firewall:
     equivalent: non-matching rules only ever contribute scan count.
     """
 
-    def __init__(self, name: str = "ipfw", metrics=None, indexed: bool = False) -> None:
+    def __init__(
+        self,
+        name: str = "ipfw",
+        metrics=None,
+        indexed: bool = False,
+        flow_cache: Optional[bool] = None,
+    ) -> None:
+        # Verdict flow cache: ``(src, dst, proto, direction) ->
+        # (Verdict, matched Rule objects)``. Rules match on exactly
+        # those four packet fields, so the key fully determines the
+        # verdict for a fixed rule list; a hit replays the original
+        # accounting bit-for-bit (see module docstring). Initialised
+        # first because the ``indexed`` property setter flushes it.
+        self._flow_cache: Dict[Tuple[int, int, str, str], Tuple[Verdict, Tuple[Rule, ...]]] = {}
+        self.flow_cache_enabled = (not SLOW_PATH) if flow_cache is None else flow_cache
+        #: Wall-clock performance counters for the cache itself (plain
+        #: attributes; the registry twins are ``wall=True`` so they are
+        #: excluded from deterministic snapshots — the cache is a
+        #: wall-time optimisation, not an emulation observable).
+        self.flow_cache_hits = 0
+        self.flow_cache_misses = 0
         #: Cost model selector. ``indexed=False`` (IPFW reality) charges
         #: the full linear walk; ``indexed=True`` charges two hash
         #: probes plus the candidate rules examined — the counterfactual
         #: firewall the paper says IPFW cannot be ("it is not possible
         #: to evaluate the rules ... with a hash table"). Verdicts are
         #: identical either way; only the emulated latency differs. The
-        #: flag may be flipped at runtime (e.g. fig6's two-path report).
-        self.indexed = indexed
+        #: flag may be flipped at runtime (e.g. fig6's two-path report);
+        #: flipping it flushes the flow cache (``scanned`` differs).
+        self._indexed = indexed
         self.name = name
         self._rules: List[Rule] = []
         self._pipes: dict[int, DummynetPipe] = {}
@@ -171,6 +254,8 @@ class Firewall:
         self._m_scanned = registry.counter("net.ipfw.rules_scanned_total")
         self._m_denied = registry.counter("net.ipfw.packets_denied")
         self._m_rules = registry.gauge("net.ipfw.rules")
+        self._m_cache_hits = registry.counter("net.ipfw.flow_cache_hits", wall=True)
+        self._m_cache_misses = registry.counter("net.ipfw.flow_cache_misses", wall=True)
         # Evaluation shortcut indexes (see class docstring).
         self._by_src: dict[int, List[Rule]] = {}
         self._by_dst: dict[int, List[Rule]] = {}
@@ -178,12 +263,24 @@ class Firewall:
         self._positions: dict[int, int] = {}  # id(rule) -> linear index
         self._dirty = False
 
+    # -- cost model ----------------------------------------------------
+    @property
+    def indexed(self) -> bool:
+        return self._indexed
+
+    @indexed.setter
+    def indexed(self, value: bool) -> None:
+        if value != self._indexed:
+            self._indexed = value
+            self._flow_cache.clear()
+
     # -- pipe table ----------------------------------------------------
     def add_pipe(self, pipe_id: int, pipe: DummynetPipe) -> DummynetPipe:
         """Register a pipe under an id (``ipfw pipe N config``)."""
         if pipe_id in self._pipes:
             raise FirewallError(f"pipe {pipe_id} already configured")
         self._pipes[pipe_id] = pipe
+        self._flow_cache.clear()
         return pipe
 
     def pipe(self, pipe_id: int) -> DummynetPipe:
@@ -221,18 +318,27 @@ class Firewall:
         else:
             self._generic.append(rule)
         self._dirty = True
+        self._flow_cache.clear()
         self._m_rules.inc()
         if number >= self._next_number:
             self._next_number = number + 100
         return rule
 
     def delete(self, number: int) -> None:
-        """Delete all rules with the given number."""
-        before = len(self._rules)
-        self._rules = [r for r in self._rules if r.number != number]
-        if len(self._rules) == before:
+        """Delete all rules with the given number.
+
+        Deleted rules have their ``hits`` counters reset: a removed
+        rule that is later re-referenced (callers sometimes keep the
+        :class:`Rule` handle) must not carry stale accounting, matching
+        ``ipfw delete`` which discards the kernel counter with the rule.
+        """
+        removed = [r for r in self._rules if r.number == number]
+        if not removed:
             raise FirewallError(f"no rule numbered {number}")
-        self._m_rules.dec(before - len(self._rules))
+        self._rules = [r for r in self._rules if r.number != number]
+        self._m_rules.dec(len(removed))
+        for rule in removed:
+            rule.hits = 0
         for table in (self._by_src, self._by_dst):
             for key in list(table):
                 table[key] = [r for r in table[key] if r.number != number]
@@ -240,9 +346,12 @@ class Firewall:
                     del table[key]
         self._generic = [r for r in self._generic if r.number != number]
         self._dirty = True
+        self._flow_cache.clear()
 
     def flush(self) -> None:
         self._m_rules.dec(len(self._rules))
+        for rule in self._rules:
+            rule.hits = 0
         self._rules.clear()
         self._by_src.clear()
         self._by_dst.clear()
@@ -250,6 +359,7 @@ class Firewall:
         self._positions.clear()
         self._next_number = 100
         self._dirty = False
+        self._flow_cache.clear()
 
     @property
     def rules(self) -> List[Rule]:
@@ -274,6 +384,26 @@ class Firewall:
         or, with ``indexed=True``, two hash probes plus the candidate
         rules actually examined.
         """
+        key = (packet.src.value, packet.dst.value, packet.proto, direction)
+        cached = self._flow_cache.get(key) if self.flow_cache_enabled else None
+        if cached is not None:
+            # Replay the original verdict's accounting bit-for-bit:
+            # same ``scanned`` charge (hence same emulated latency),
+            # same per-rule ``hits``, same registry counters. Only the
+            # wall-clock linear walk is skipped.
+            verdict, matched_rules = cached
+            for rule in matched_rules:
+                rule.hits += 1
+            scanned = verdict.scanned
+            self.packets_evaluated += 1
+            self.rules_scanned_total += scanned
+            self._m_pkts.inc()
+            self._m_scanned.inc(scanned)
+            if not verdict.allowed:
+                self._m_denied.inc()
+            self.flow_cache_hits += 1
+            self._m_cache_hits.inc()
+            return verdict
         if self._dirty:
             self._refresh_positions()
         candidates: List[Rule] = []
@@ -292,15 +422,17 @@ class Firewall:
         indexed = self.indexed
         pipes: List[DummynetPipe] = []
         matched: List[int] = []
+        matched_rules: List[Rule] = []
         allowed = True
         examined = 0
         scanned = 0 if indexed else len(self._rules)
         for rule in candidates:
             examined += 1
-            if not rule.matches(packet, direction):
+            if not rule.match(packet, direction):
                 continue
             rule.hits += 1
             matched.append(rule.number)
+            matched_rules.append(rule)
             action = rule.action
             if action == ACTION_PIPE:
                 pipes.append(rule.pipe)  # type: ignore[arg-type]
@@ -324,7 +456,12 @@ class Firewall:
         self._m_scanned.inc(scanned)
         if not allowed:
             self._m_denied.inc()
-        return Verdict(allowed, tuple(pipes), scanned, tuple(matched))
+        verdict = Verdict(allowed, tuple(pipes), scanned, tuple(matched))
+        if self.flow_cache_enabled:
+            self._flow_cache[key] = (verdict, tuple(matched_rules))
+            self.flow_cache_misses += 1
+            self._m_cache_misses.inc()
+        return verdict
 
     def stats(self) -> dict:
         return {
@@ -332,6 +469,9 @@ class Firewall:
             "pipes": len(self._pipes),
             "packets_evaluated": self.packets_evaluated,
             "rules_scanned_total": self.rules_scanned_total,
+            "flow_cache_entries": len(self._flow_cache),
+            "flow_cache_hits": self.flow_cache_hits,
+            "flow_cache_misses": self.flow_cache_misses,
         }
 
     def __iter__(self) -> Iterable[Rule]:

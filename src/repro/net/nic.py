@@ -81,8 +81,17 @@ class Interface:
         self._addr_values.discard(addr.value)
 
     def has_address(self, addr: Union[IPv4Address, str, int]) -> bool:
-        value = addr if isinstance(addr, int) else ip(addr).value
-        return value in self._addr_values
+        if type(addr) is int:  # hot path: stacks pass raw values
+            return addr in self._addr_values
+        return ip(addr).value in self._addr_values
+
+    @property
+    def local_values(self) -> Set[int]:
+        """Live (mutated in place, never rebound) set of configured
+        address values. The owning stack caches this at construction so
+        its per-packet local-destination check is a raw set membership
+        with no method call; treat it as read-only."""
+        return self._addr_values
 
     @property
     def aliases(self) -> List[IPv4Address]:

@@ -125,8 +125,9 @@ class DummynetPipe:
         sim = self.sim
         now = sim.now
         flight = self._flight
+        size = packet.size
         self.packets_in += 1
-        self.bytes_in += packet.size
+        self.bytes_in += size
 
         if self._rng is not None and self._rng.random() < self.plr:
             self.packets_dropped_loss += 1
@@ -135,28 +136,29 @@ class DummynetPipe:
                 flight.drop(packet, self.owner, now, f"loss:{self.name}")
             return False
 
-        if self.bandwidth is None:
+        bandwidth = self.bandwidth
+        if bandwidth is None:
             wait = txn = backlog_bytes = 0.0
             arrival_delay = self.delay
         else:
             backlog_start = self._busy_until if self._busy_until > now else now
-            backlog_bytes = (backlog_start - now) * self.bandwidth
+            backlog_bytes = (backlog_start - now) * bandwidth
             self._m_occupancy.observe(backlog_bytes)
             if self.queue_limit is not None:
-                if backlog_bytes + packet.size > self.queue_limit:
+                if backlog_bytes + size > self.queue_limit:
                     self.packets_dropped_queue += 1
                     self._m_drop_queue.inc()
                     if flight.enabled:
                         flight.drop(packet, self.owner, now, f"queue:{self.name}")
                     return False
-            depart = backlog_start + packet.size / self.bandwidth
+            txn = size / bandwidth
+            depart = backlog_start + txn
             self._busy_until = depart
             wait = backlog_start - now
-            txn = packet.size / self.bandwidth
             arrival_delay = depart - now + self.delay
 
         self.packets_out += 1
-        self.bytes_out += packet.size
+        self.bytes_out += size
         self._m_out.inc()
         if flight.enabled:
             # t1 uses the scheduler's own arithmetic (now + delay), so

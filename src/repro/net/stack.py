@@ -25,12 +25,22 @@ small latency calibrated against the paper's 10.22 µs connect cycle.
 
 from __future__ import annotations
 
+from sys import getrefcount
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.net.addr import IPv4Address, ip
 from repro.net.ipfw import DIR_IN, DIR_OUT, Firewall
 from repro.net.nic import Interface
-from repro.net.packet import ICMP_HEADER, Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.packet import (
+    ICMP_HEADER,
+    Packet,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    acquire,
+    release,
+    retag,
+)
 from repro.net.pipe import DummynetPipe
 from repro.net.switch import Switch
 from repro.net.tcp import TcpLayer
@@ -71,6 +81,11 @@ class NetworkStack:
         self._egress_taps: List[Callable[[Packet], None]] = []
         self._ingress_taps: List[Callable[[Packet], None]] = []
         self.iface = Interface("eth0")
+        #: Cached live view of the interface's configured address
+        #: values (the set is mutated in place by alias changes, never
+        #: rebound) — per-packet local-destination checks are a raw set
+        #: membership with no method call.
+        self._local_values = self.iface.local_values
         self.fw = Firewall(name=f"ipfw/{name}", metrics=getattr(sim, "metrics", None))
         self.tcp = TcpLayer(self, explicit_acks=tcp_explicit_acks)
         self.udp = UdpLayer(self)
@@ -119,6 +134,11 @@ class NetworkStack:
         observes wire arrivals before the inbound verdict."""
         taps = self._egress_taps if direction == DIR_OUT else self._ingress_taps
         taps.append(tap)
+        # A tap may retain packet objects (sniffers hand them to user
+        # code), so packet recycling is no longer safe anywhere on this
+        # simulator: clear the sim-wide reuse flag permanently.
+        if getattr(self.sim, "allow_packet_reuse", False):
+            self.sim.allow_packet_reuse = False
 
     def remove_tap(self, tap: Callable[[Packet], None]) -> None:
         """Detach a tap from whichever direction it is attached to."""
@@ -130,7 +150,9 @@ class NetworkStack:
     def send_packet(self, pkt: Packet) -> None:
         """Emit a packet from this node (transport layers call this)."""
         self.packets_sent += 1
-        self.iface.count_tx(pkt.size)
+        iface = self.iface
+        iface.tx_packets += 1
+        iface.tx_bytes += pkt.size
         sim = self.sim
         flight = self.flight
         if flight.enabled:
@@ -172,7 +194,7 @@ class NetworkStack:
             # After the allow verdict: denied packets never reach taps.
             for tap in self._egress_taps:
                 tap(pkt)
-        if self.iface.has_address(pkt.dst.value):
+        if pkt.dst.value in self._local_values:
             # Co-hosted virtual nodes: traffic stays on this host (lo0)
             # but IPFW/Dummynet still shape it in both directions — this
             # is what keeps folded experiments faithful (Figure 9). The
@@ -265,8 +287,12 @@ class NetworkStack:
         self._run_chain(pkt, verdict.pipes, 0, self._deliver_local, extra)
 
     def _deliver_local(self, pkt: Packet) -> None:
+        # Hoisted attribute lookups: this is the per-packet sink for
+        # every delivery on the node.
+        iface = self.iface
+        iface.rx_packets += 1
+        iface.rx_bytes += pkt.size
         self.packets_received += 1
-        self.iface.count_rx(pkt.size)
         if self.flight.enabled:
             self.flight.deliver(pkt, self.name, self.sim.now)
         proto = pkt.proto
@@ -276,18 +302,36 @@ class NetworkStack:
             self.udp.handle_packet(pkt)
         elif proto == PROTO_ICMP:
             self._handle_icmp(pkt)
+        # The transports above never retain the packet object (they keep
+        # payloads/segments). Recycle it if we can *prove* nothing else
+        # does: exactly 3 refs = the kernel event's args tuple + our
+        # parameter + getrefcount's argument. Any tap, flight hook or
+        # experiment that kept a reference pushes the count higher and
+        # the packet is simply left to the GC — always safe.
+        if (
+            pkt.pooled
+            and getattr(self.sim, "allow_packet_reuse", False)
+            and getrefcount(pkt) == 3
+        ):
+            release(pkt)
 
     # -- ICMP echo (ping) -------------------------------------------------------
     def _handle_icmp(self, pkt: Packet) -> None:
         if pkt.kind == "echo":
-            reply = Packet(
-                src=pkt.dst,
-                dst=pkt.src,
-                proto=PROTO_ICMP,
-                size=pkt.size,
-                payload=pkt.payload,
-                kind="echoreply",
-            )
+            if pkt.pooled and getattr(self.sim, "allow_packet_reuse", False):
+                # Turnaround reuse: the request dies in this callback,
+                # so flip it in place into the reply (fresh id — same
+                # one the constructed reply would have drawn).
+                reply = retag(pkt, pkt.dst, pkt.src, "echoreply")
+            else:
+                reply = Packet(
+                    src=pkt.dst,
+                    dst=pkt.src,
+                    proto=PROTO_ICMP,
+                    size=pkt.size,
+                    payload=pkt.payload,
+                    kind="echoreply",
+                )
             self.send_packet(reply)
         elif pkt.kind == "echoreply":
             pending = self._icmp_pending.pop(pkt.payload, None)
@@ -309,11 +353,11 @@ class NetworkStack:
         ident = self._icmp_ident
         sig = Signal(self.sim, name=f"ping/{dst}#{ident}")
         self._icmp_pending[ident] = (self.sim.now, sig)
-        pkt = Packet(
-            src=src,
-            dst=dst,
-            proto=PROTO_ICMP,
-            size=size + ICMP_HEADER,
+        pkt = acquire(
+            src,
+            dst,
+            PROTO_ICMP,
+            size + ICMP_HEADER,
             payload=ident,
             kind="echo",
         )

@@ -38,7 +38,7 @@ from repro.errors import (
     SocketError,
 )
 from repro.net.addr import IPv4Address
-from repro.net.packet import Packet, PROTO_TCP, TCP_HEADER
+from repro.net.packet import Packet, PROTO_TCP, TCP_HEADER, acquire
 from repro.obs.flight import NULL_FLIGHT
 from repro.obs.metrics import NULL_REGISTRY
 from repro.sim.process import Signal
@@ -171,11 +171,11 @@ class Connection:
                 admitted.trigger(None)
 
     def _transmit(self, seg: _Segment, kind: str) -> None:
-        pkt = Packet(
-            src=self.local[0],
-            dst=self.remote[0],
-            proto=PROTO_TCP,
-            size=seg.size + TCP_HEADER if kind == KIND_DATA else TCP_HEADER,
+        pkt = acquire(
+            self.local[0],
+            self.remote[0],
+            PROTO_TCP,
+            seg.size + TCP_HEADER if kind == KIND_DATA else TCP_HEADER,
             sport=self.local[1],
             dport=self.remote[1],
             payload=seg,
@@ -272,11 +272,11 @@ class Connection:
                 self.recv_channel.put((next_seg.payload, next_seg.size))
 
     def _send_ack(self, seg: _Segment) -> None:
-        pkt = Packet(
-            src=self.local[0],
-            dst=self.remote[0],
-            proto=PROTO_TCP,
-            size=TCP_HEADER,
+        pkt = acquire(
+            self.local[0],
+            self.remote[0],
+            PROTO_TCP,
+            TCP_HEADER,
             sport=self.local[1],
             dport=self.remote[1],
             payload=seg,
@@ -324,11 +324,11 @@ class Connection:
         """Send RST and reset immediately (dropped data is lost)."""
         if self.state is Connection.CLOSED:
             return
-        pkt = Packet(
-            src=self.local[0],
-            dst=self.remote[0],
-            proto=PROTO_TCP,
-            size=TCP_HEADER,
+        pkt = acquire(
+            self.local[0],
+            self.remote[0],
+            PROTO_TCP,
+            TCP_HEADER,
             sport=self.local[1],
             dport=self.remote[1],
             kind=KIND_RST,
@@ -467,11 +467,11 @@ class TcpLayer:
         if attempt > SYN_RETRIES:
             conn._fail_reset("connect timed out")
             return
-        pkt = Packet(
-            src=conn.local[0],
-            dst=conn.remote[0],
-            proto=PROTO_TCP,
-            size=TCP_HEADER,
+        pkt = acquire(
+            conn.local[0],
+            conn.remote[0],
+            PROTO_TCP,
+            TCP_HEADER,
             sport=conn.local[1],
             dport=conn.remote[1],
             kind=KIND_SYN,
@@ -549,11 +549,11 @@ class TcpLayer:
             return
 
     def _send_synack(self, conn: Connection) -> None:
-        pkt = Packet(
-            src=conn.local[0],
-            dst=conn.remote[0],
-            proto=PROTO_TCP,
-            size=TCP_HEADER,
+        pkt = acquire(
+            conn.local[0],
+            conn.remote[0],
+            PROTO_TCP,
+            TCP_HEADER,
             sport=conn.local[1],
             dport=conn.remote[1],
             kind=KIND_SYNACK,
@@ -562,11 +562,11 @@ class TcpLayer:
         self.stack.send_packet(pkt)
 
     def _send_rst(self, offending: Packet) -> None:
-        pkt = Packet(
-            src=offending.dst,
-            dst=offending.src,
-            proto=PROTO_TCP,
-            size=TCP_HEADER,
+        pkt = acquire(
+            offending.dst,
+            offending.src,
+            PROTO_TCP,
+            TCP_HEADER,
             sport=offending.dport,
             dport=offending.sport,
             kind=KIND_RST,

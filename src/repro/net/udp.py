@@ -8,7 +8,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import AddressInUse
 from repro.net.addr import IPv4Address
-from repro.net.packet import Packet, PROTO_UDP, UDP_HEADER
+from repro.net.packet import Packet, PROTO_UDP, UDP_HEADER, acquire
 from repro.sim.process import Signal
 from repro.sim.resources import Channel
 
@@ -28,11 +28,11 @@ class UdpEndpoint:
 
     def sendto(self, payload, size: int, remote: Endpoint) -> None:
         """Fire-and-forget one datagram."""
-        pkt = Packet(
-            src=self.local[0],
-            dst=remote[0],
-            proto=PROTO_UDP,
-            size=size + UDP_HEADER,
+        pkt = acquire(
+            self.local[0],
+            remote[0],
+            PROTO_UDP,
+            size + UDP_HEADER,
             sport=self.local[1],
             dport=remote[1],
             payload=payload,

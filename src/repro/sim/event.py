@@ -4,14 +4,37 @@ Events are ordered by ``(time, priority, sequence)``. The sequence
 number makes ordering total and deterministic: two events scheduled for
 the same instant fire in scheduling order, independent of hash seeds or
 heap internals.
+
+Two queue implementations live behind one API (DESIGN.md, "Hot-path
+architecture"):
+
+* **heap-only** (``calendar=False``, the ``REPRO_SLOW_PATH=1``
+  reference path): a binary heap of ``(time, priority, seq, event)``
+  tuples with lazy cancellation, exactly the pre-optimisation kernel;
+* **calendar fast path** (the default): a bucketed near-future window
+  in front of the heap. Events landing inside the current window go
+  straight into a fixed-width bucket (O(1) append); each bucket is
+  sorted once when the pop cursor reaches it, so the short-delay
+  timers that dominate TCP/pipe traffic skip the heap entirely.
+  Events beyond the window overflow into the heap and are migrated
+  in batches when the window advances.
+
+Both orderings are the same total order — the property tests in
+``tests/test_event_fastpath.py`` pit them against each other on
+randomized schedules (including cancellations) and require identical
+pop sequences. An :class:`Event` free list recycles handles that the
+kernel has proven unreferenced, cutting the per-event allocation that
+dominated ``push`` in profiles.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.hotpath import SLOW_PATH
 
 #: Default priority; lower fires first among same-time events.
 PRIORITY_NORMAL = 0
@@ -19,6 +42,24 @@ PRIORITY_NORMAL = 0
 PRIORITY_HIGH = -1
 #: Used for events that must observe all same-time user events.
 PRIORITY_LOW = 1
+
+#: Calendar tier geometry: ``NEAR_BUCKETS`` buckets of ``BUCKET_WIDTH``
+#: seconds each. The window spans 256 ms — wide enough that loopback
+#: (µs), rule-scan (µs–ms), serialization (µs–ms) and LAN/pipe delays
+#: (tens of ms) all land in the near tier; retransmission and choker
+#: timers (0.5 s+) overflow to the heap and migrate in batches.
+NEAR_BUCKETS = 256
+BUCKET_WIDTH = 1e-3
+
+#: Upper bound on the Event free list (handles, not payloads).
+EVENT_POOL_CAP = 4096
+
+#: Window-advance hybrid threshold: when at most this many heap entries
+#: fall inside the new window they are served directly as one sorted
+#: run (heap pops already come out in total order); above it they are
+#: distributed into buckets so later same-window pushes stay O(1)
+#: appends instead of O(n) ordered inserts into a huge run.
+SPARSE_RUN_MAX = 512
 
 
 class Event:
@@ -52,8 +93,8 @@ class Event:
     def cancel(self) -> None:
         """Cancel the event; a cancelled event is skipped by the queue.
 
-        Cancelling is O(1): the entry stays in the heap and is discarded
-        lazily when popped.
+        Cancelling is O(1): the entry stays in the queue (heap or
+        bucket) as a tombstone and is discarded lazily when reached.
         """
         self.callback = None
         self.args = ()
@@ -77,20 +118,49 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` objects.
+    """Priority queue of :class:`Event` objects.
 
-    Heap entries are ``(time, priority, seq, event)`` tuples so heap
-    sifting compares plain numbers in C instead of calling
-    ``Event.__lt__`` — a measurable win at the millions-of-events scale
-    of the Figure 10/11 experiments.
+    Entries everywhere are ``(time, priority, seq, event)`` tuples so
+    both heap sifting and bucket sorting compare plain numbers in C
+    instead of calling ``Event.__lt__`` — a measurable win at the
+    millions-of-events scale of the Figure 10/11 experiments.
+
+    Parameters
+    ----------
+    calendar:
+        ``True`` enables the bucketed near-future tier (the fast
+        path); ``False`` is the heap-only reference implementation.
+        ``None`` (default) follows :data:`repro.hotpath.SLOW_PATH`.
+
+    Invariant of the calendar tier: every heap entry's time is
+    ``>= _win_end`` and every near entry's time is ``< _win_end``, so
+    the near tier always drains before the heap and the pop order is
+    exactly the heap-only ``(time, priority, seq)`` total order.
     """
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = (
+        "_heap", "_seq", "_live", "_calendar", "_free",
+        "_buckets", "_occ", "_sorted", "_si", "_cur",
+        "_win_start", "_win_end", "_near", "_inv_width", "_span",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, calendar: Optional[bool] = None) -> None:
         self._heap: list[tuple] = []
         self._seq = 0
         self._live = 0
+        self._calendar = (not SLOW_PATH) if calendar is None else calendar
+        self._free: list[Event] = []
+        # Near-future calendar tier (unused when ``calendar`` is off).
+        self._span = NEAR_BUCKETS * BUCKET_WIDTH
+        self._inv_width = 1.0 / BUCKET_WIDTH
+        self._buckets: list[list[tuple]] = [[] for _ in range(NEAR_BUCKETS)]
+        self._occ: list[int] = []  # int-heap of (possibly stale) nonempty bucket indices
+        self._sorted: list = []    # the opened (current) bucket, sorted
+        self._si = 0               # consumption index into ``_sorted``
+        self._cur = 0              # index of the opened bucket
+        self._win_start = 0.0
+        self._win_end = self._span
+        self._near = 0             # entries (live + tombstones) in the near tier
 
     def __len__(self) -> int:
         return self._live
@@ -98,6 +168,9 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
     def push(
         self,
         time: float,
@@ -109,12 +182,189 @@ class EventQueue:
         if callback is None:
             raise SimulationError("cannot schedule a None callback")
         seq = self._seq
-        ev = Event(time, priority, seq, callback, args)
         self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, (time, priority, seq, ev))
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+        else:
+            ev = Event(time, priority, seq, callback, args)
+        entry = (time, priority, seq, ev)
+        if self._calendar and time < self._win_end:
+            # Near tier. Bucket index relative to the window start;
+            # times at or before the current bucket (including
+            # float-edge rounding and out-of-order pushes below the
+            # window) join the opened sorted run, where an ordered
+            # insert keeps pop order exact.
+            idx = int((time - self._win_start) * self._inv_width)
+            if idx >= NEAR_BUCKETS:
+                idx = NEAR_BUCKETS - 1
+            if idx > self._cur:
+                bucket = self._buckets[idx]
+                if not bucket:
+                    heapq.heappush(self._occ, idx)
+                bucket.append(entry)
+            else:
+                s = self._sorted
+                si = self._si
+                if si >= len(s):
+                    # The opened run is fully consumed (its slots are
+                    # tombstoned to None); start a fresh run.
+                    self._sorted = [entry]
+                    self._si = 0
+                elif entry >= s[-1]:
+                    s.append(entry)  # overwhelmingly common: same-time FIFO
+                else:
+                    insort(s, entry, si)
+            self._near += 1
+        else:
+            heapq.heappush(self._heap, entry)
         return ev
 
+    # ------------------------------------------------------------------
+    # Near-tier machinery
+    # ------------------------------------------------------------------
+    def _open_next_bucket(self) -> None:
+        """Advance the cursor to the next nonempty bucket and sort it."""
+        occ = self._occ
+        buckets = self._buckets
+        while True:
+            idx = heapq.heappop(occ)  # _near > 0 guarantees a hit
+            bucket = buckets[idx]
+            if bucket:
+                bucket.sort()
+                buckets[idx] = []
+                self._sorted = bucket
+                self._si = 0
+                self._cur = idx
+                return
+
+    def _advance_window(self) -> None:
+        """Re-anchor the (empty) near window at the heap's top time and
+        migrate every heap entry inside the new window into the near
+        tier.
+
+        Hybrid migration: heap pops come out in ``(time, priority,
+        seq)`` order already, so a *sparse* window (at most
+        :data:`SPARSE_RUN_MAX` entries) is served directly as the
+        opened sorted run — no bucket machinery, no re-sort, the
+        per-entry cost is exactly the heap pop the reference path pays
+        anyway. A *dense* window is distributed into buckets so that
+        subsequent same-window pushes stay O(1) appends.
+        """
+        heap = self._heap
+        t0 = heap[0][0]
+        span = self._span
+        inv = self._inv_width
+        self._win_start = t0
+        end = self._win_end = t0 + span
+        self._occ.clear()
+        heappop = heapq.heappop
+        run: list = []
+        append = run.append
+        budget = SPARSE_RUN_MAX
+        while heap and heap[0][0] < end:
+            append(heappop(heap))
+            if budget == 0:
+                break
+            budget -= 1
+        if not heap or heap[0][0] >= end:
+            # Sparse window: serve the (already sorted) batch directly.
+            # The cursor rises to the run's last bucket so that later
+            # same-window pushes below it do an ordered insert into the
+            # run (order with buckets above the cursor stays correct:
+            # every run time < (cur+1) bucket boundary).
+            self._sorted = run
+            self._si = 0
+            self._near = len(run)
+            idx = int((run[-1][0] - t0) * inv)
+            self._cur = NEAR_BUCKETS - 1 if idx >= NEAR_BUCKETS else idx
+            return
+        # Dense window: distribute into buckets.
+        buckets = self._buckets
+        occ = self._occ
+        self._cur = 0
+        migrated = len(run)
+        for entry in run:
+            idx = int((entry[0] - t0) * inv)
+            if idx >= NEAR_BUCKETS:
+                idx = NEAR_BUCKETS - 1
+            bucket = buckets[idx]
+            if not bucket and idx > 0:
+                heapq.heappush(occ, idx)
+            bucket.append(entry)
+        while heap and heap[0][0] < end:
+            entry = heappop(heap)
+            idx = int((entry[0] - t0) * inv)
+            if idx >= NEAR_BUCKETS:
+                idx = NEAR_BUCKETS - 1
+            bucket = buckets[idx]
+            if not bucket and idx > 0:
+                heapq.heappush(occ, idx)
+            bucket.append(entry)
+            migrated += 1
+        self._near = migrated
+        bucket = buckets[0]  # holds the old heap top (idx 0) by construction
+        bucket.sort()
+        buckets[0] = []
+        self._sorted = bucket
+        self._si = 0
+
+    def _peek_entry(self) -> Optional[tuple]:
+        """The next live entry, or ``None``. Tombstones are discarded."""
+        if not self._calendar:
+            heap = self._heap
+            while heap:
+                entry = heap[0]
+                if entry[3].callback is not None:
+                    return entry
+                heapq.heappop(heap)
+            return None
+        while True:
+            s = self._sorted
+            si = self._si
+            n = len(s)
+            while si < n:
+                entry = s[si]
+                if entry[3].callback is not None:
+                    self._si = si
+                    return entry
+                s[si] = None  # release the tombstone's payload
+                si += 1
+                self._near -= 1
+            self._si = si
+            if self._near > 0:
+                self._open_next_bucket()
+                continue
+            heap = self._heap
+            while heap:
+                if heap[0][3].callback is not None:
+                    self._advance_window()
+                    break
+                heapq.heappop(heap)
+            else:
+                return None
+
+    def _consume(self, entry: tuple) -> Event:
+        """Remove the entry returned by :meth:`_peek_entry`."""
+        if self._calendar:
+            si = self._si
+            self._sorted[si] = None  # drop the tuple's reference to the event
+            self._si = si + 1
+            self._near -= 1
+        else:
+            heapq.heappop(self._heap)
+        self._live -= 1
+        return entry[3]
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
@@ -123,21 +373,78 @@ class EventQueue:
         SimulationError
             If the queue holds no live events.
         """
-        heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)[3]
-            if ev.callback is not None:
-                self._live -= 1
-                return ev
-            # Lazily dropped cancelled entry.
-        raise SimulationError("pop from empty event queue")
+        if not self._calendar:
+            # Heap-only reference path, kept byte-for-byte equivalent to
+            # the pre-optimisation queue (it is also the baseline the
+            # microbenches compare against).
+            heap = self._heap
+            while heap:
+                ev = heapq.heappop(heap)[3]
+                if ev.callback is not None:
+                    self._live -= 1
+                    return ev
+            raise SimulationError("pop from empty event queue")
+        entry = self._peek_entry()
+        if entry is None:
+            raise SimulationError("pop from empty event queue")
+        return self._consume(entry)
+
+    def pop_ready(self, until: Optional[float] = None) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when
+        the queue is empty or the next event fires after ``until``.
+
+        This is the kernel's single-walk fast path: one call replaces
+        the ``peek_time`` + ``pop`` pair (which traversed the heap
+        twice per event). The common case — next slot of the opened
+        sorted run holds a live entry — is fully inlined.
+        """
+        if self._calendar:
+            s = self._sorted
+            si = self._si
+            # Invariant: the slot at ``_si`` is never a consumed/None
+            # slot (tombstone sweeps null the slot *and* advance _si),
+            # so it is either past the end or a real entry tuple.
+            if si < len(s):
+                entry = s[si]
+                if entry[3].callback is not None:
+                    if until is not None and entry[0] > until:
+                        return None
+                    s[si] = None
+                    self._si = si + 1
+                    self._near -= 1
+                    self._live -= 1
+                    return entry[3]
+        entry = self._peek_entry()
+        if entry is None or (until is not None and entry[0] > until):
+            return None
+        return self._consume(entry)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        heap = self._heap
-        while heap and heap[0][3].callback is None:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        if not self._calendar:
+            heap = self._heap
+            while heap and heap[0][3].callback is None:
+                heapq.heappop(heap)
+            return heap[0][0] if heap else None
+        entry = self._peek_entry()
+        return entry[0] if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def recycle(self, ev: Event) -> None:
+        """Return a *proven-unreferenced* event handle to the free list.
+
+        Only the kernel calls this, and only after checking that no
+        external reference to the handle survives — recycling a handle
+        someone still holds would let a stale ``cancel()`` kill an
+        unrelated future event.
+        """
+        free = self._free
+        if len(free) < EVENT_POOL_CAP:
+            ev.callback = None
+            ev.args = ()
+            free.append(ev)
 
     def note_cancelled(self) -> None:
         """Account for one external cancellation (kept O(1))."""
@@ -146,3 +453,12 @@ class EventQueue:
     def clear(self) -> None:
         self._heap.clear()
         self._live = 0
+        for bucket in self._buckets:
+            bucket.clear()
+        self._occ.clear()
+        self._sorted = []
+        self._si = 0
+        self._cur = 0
+        self._win_start = 0.0
+        self._win_end = self._span
+        self._near = 0

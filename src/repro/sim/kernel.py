@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+from sys import getrefcount
 from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.hotpath import SLOW_PATH
 from repro.obs.flight import FlightRecorder, NULL_FLIGHT
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.profile import EventLoopProfiler, NULL_PROFILER
 from repro.obs.span import NULL_TRACER, Tracer
-from repro.sim.event import Event, EventQueue, PRIORITY_NORMAL
+from repro.sim.event import EVENT_POOL_CAP, Event, EventQueue, PRIORITY_NORMAL
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 
@@ -34,6 +36,13 @@ class Simulator:
         runs exactly reproducible.
     observe:
         ``False`` swaps every instrument for its shared NULL no-op.
+    fast:
+        ``True`` enables the hot-path optimisations (calendar event
+        queue, event free list, packet reuse); ``False`` selects the
+        unoptimised reference path. ``None`` (default) follows the
+        ``REPRO_SLOW_PATH`` environment escape hatch (see
+        :mod:`repro.hotpath`). Both paths are observationally
+        identical: same event order, same metrics, same traces.
     flight:
         ``True`` (and ``observe=True``) attaches a
         :class:`~repro.obs.flight.FlightRecorder` as ``sim.flight`` so
@@ -51,10 +60,19 @@ class Simulator:
     """
 
     def __init__(
-        self, seed: int = 0, observe: bool = True, flight: bool = False
+        self,
+        seed: int = 0,
+        observe: bool = True,
+        flight: bool = False,
+        fast: Optional[bool] = None,
     ) -> None:
         self.now: float = 0.0
-        self._queue = EventQueue()
+        self.fast = (not SLOW_PATH) if fast is None else fast
+        self._queue = EventQueue(calendar=self.fast)
+        #: Transports may recycle pooled packets when this is True; it
+        #: is cleared whenever a packet tap is installed (a tap may
+        #: retain packet objects) and on the slow reference path.
+        self.allow_packet_reuse = self.fast
         self.rng = RngRegistry(seed)
         self.trace = TraceRecorder()
         self._running = False
@@ -162,38 +180,104 @@ class Simulator:
         observe_cb = self._m_callback.observe
         record_prof = profiler.record if profiler.enabled else None
         try:
-            while queue:
-                if self._stopped:
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                next_time = queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                ev = queue.pop()
-                self.now = ev.time
-                callback, args = ev.callback, ev.args
-                # Free references before the callback runs so that an
-                # exception does not pin the event's payload.
-                ev.callback = None
-                ev.args = ()
-                if profile:
-                    t0 = perf_counter()
+            if self.fast and not profile:
+                # Hot path: the common iteration — next slot of the
+                # queue's opened sorted run holds a live entry — is
+                # fully inlined here (zero queue calls per event); the
+                # residue (tombstones, bucket opening, window advance,
+                # horizon) falls back to the single-walk ``pop_ready``.
+                # No per-event instrument tests (hoisted into the
+                # branch selection), and event handles are recycled
+                # when the refcount proves no caller kept them.
+                pop_ready = queue.pop_ready
+                recycle = queue.recycle
+                free = queue._free
+                pool_cap = EVENT_POOL_CAP
+                while True:
+                    if self._stopped:
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    s = queue._sorted
+                    si = queue._si
+                    if si < len(s):
+                        entry = s[si]
+                        ev = entry[3]
+                        callback = ev.callback
+                        if callback is not None:
+                            t = entry[0]
+                            if until is not None and t > until:
+                                self.now = until
+                                break
+                            s[si] = None
+                            queue._si = si + 1
+                            queue._near -= 1
+                            queue._live -= 1
+                            self.now = t
+                            args = ev.args
+                            # Free references before the callback runs
+                            # so an exception cannot pin the payload.
+                            ev.callback = None
+                            ev.args = ()
+                            callback(*args)
+                            processed += 1
+                            # 3 accounted refs: the ``entry`` tuple,
+                            # the ``ev`` local, getrefcount's argument.
+                            # Any external handle pushes this higher
+                            # and the event is left to the GC.
+                            if getrefcount(ev) == 3 and len(free) < pool_cap:
+                                free.append(ev)
+                            continue
+                    ev = pop_ready(until)
+                    if ev is None:
+                        # Same clock semantics as the reference loop:
+                        # a non-empty queue means the next event is
+                        # past the horizon (clock lands on ``until``);
+                        # an empty queue advances only forward.
+                        if until is not None and (queue or until > self.now):
+                            self.now = until
+                        break
+                    self.now = ev.time
+                    callback, args = ev.callback, ev.args
+                    ev.callback = None
+                    ev.args = ()
                     callback(*args)
-                    wall = perf_counter() - t0
-                    if profile_cb:
-                        observe_cb(wall)
-                    if record_prof is not None:
-                        record_prof(callback, wall)
-                else:
-                    callback(*args)
-                processed += 1
+                    processed += 1
+                    if getrefcount(ev) == 2:  # loop local + getrefcount arg
+                        recycle(ev)
             else:
-                if until is not None and until > self.now:
-                    self.now = until
+                while queue:
+                    if self._stopped:
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self.now = until
+                        break
+                    ev = queue.pop()
+                    self.now = ev.time
+                    callback, args = ev.callback, ev.args
+                    # Free references before the callback runs so that an
+                    # exception does not pin the event's payload.
+                    ev.callback = None
+                    ev.args = ()
+                    if profile:
+                        t0 = perf_counter()
+                        callback(*args)
+                        wall = perf_counter() - t0
+                        if profile_cb:
+                            observe_cb(wall)
+                        if record_prof is not None:
+                            record_prof(callback, wall)
+                    else:
+                        callback(*args)
+                    processed += 1
+                else:
+                    if until is not None and until > self.now:
+                        self.now = until
         finally:
             self.events_processed += processed
             self._m_events.inc(processed)

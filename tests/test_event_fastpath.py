@@ -1,0 +1,228 @@
+"""Equivalence of the calendar-queue fast path and the heap-only queue.
+
+The hot-path overhaul must be *observationally invisible*: the bucketed
+calendar/near-future queue (``EventQueue(calendar=True)``) and the
+pre-optimisation binary heap (``calendar=False``, also selected
+process-wide by ``REPRO_SLOW_PATH=1``) must produce the identical
+``(time, priority, seq)`` total order and the identical cancellation
+semantics on *any* schedule. These property-style tests drive both
+queues through the same randomized push/pop/cancel sequences and
+demand byte-equal outcomes.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event import (
+    BUCKET_WIDTH,
+    NEAR_BUCKETS,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SPARSE_RUN_MAX,
+    EventQueue,
+)
+from repro.sim.kernel import Simulator
+
+PRIORITIES = (PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW)
+
+#: One near-window's span in seconds (events below this exercise the
+#: bucket tier; far beyond it, the heap tier and window migration).
+WINDOW = NEAR_BUCKETS * BUCKET_WIDTH
+
+
+def _noop() -> None:
+    pass
+
+
+def _random_times(rng: random.Random, n: int, span: float):
+    """``n`` times in [0, span] with deliberate collisions (~10%)."""
+    times = []
+    for _ in range(n):
+        if times and rng.random() < 0.1:
+            times.append(rng.choice(times))  # exact duplicate time
+        else:
+            times.append(rng.random() * span)
+    return times
+
+
+def _drain(queue: EventQueue):
+    order = []
+    while queue:
+        ev = queue.pop()
+        order.append((ev.time, ev.priority, ev.seq))
+    return order
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize(
+    "span",
+    [
+        0.5 * WINDOW,  # everything in the first near window (bucket tier)
+        40 * WINDOW,  # spread far: migration, sparse windows, heap tier
+    ],
+)
+def test_pop_order_identical_on_random_schedules(seed, span):
+    rng = random.Random(seed)
+    times = _random_times(rng, 2000, span)
+    prios = [rng.choice(PRIORITIES) for _ in times]
+
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    for t, p in zip(times, prios):
+        heap_q.push(t, _noop, (), p)
+        cal_q.push(t, _noop, (), p)
+
+    heap_order = _drain(heap_q)
+    cal_order = _drain(cal_q)
+    assert cal_order == heap_order
+    # The order really is the (time, priority, seq) total order.
+    assert heap_order == sorted(heap_order)
+    assert len(heap_order) == len(times)
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_cancellation_semantics_identical(seed):
+    rng = random.Random(seed)
+    times = _random_times(rng, 1500, 10 * WINDOW)
+    prios = [rng.choice(PRIORITIES) for _ in times]
+
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    heap_evs, cal_evs = [], []
+    for t, p in zip(times, prios):
+        heap_evs.append(heap_q.push(t, _noop, (), p))
+        cal_evs.append(cal_q.push(t, _noop, (), p))
+
+    # Cancel the same 30% on both queues (tombstones on the calendar
+    # path, skipped-on-pop for the heap path).
+    doomed = rng.sample(range(len(times)), k=len(times) * 3 // 10)
+    for i in doomed:
+        for q, evs in ((heap_q, heap_evs), (cal_q, cal_evs)):
+            ev = evs[i]
+            if not ev.cancelled:
+                ev.cancel()
+                q.note_cancelled()
+
+    assert len(heap_q) == len(cal_q) == len(times) - len(doomed)
+    heap_order = _drain(heap_q)
+    cal_order = _drain(cal_q)
+    assert cal_order == heap_order
+    cancelled_keys = {(times[i], prios[i], i) for i in doomed}
+    assert not cancelled_keys & set(heap_order)
+
+
+@pytest.mark.parametrize("seed", [20, 21, 22])
+def test_interleaved_push_pop_identical(seed):
+    """Steady-state shape: pops interleaved with pushes of later times."""
+    rng = random.Random(seed)
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    # Both queues see the *same* decision stream: seed both identically.
+    for t in _random_times(rng, 64, WINDOW):
+        heap_q.push(t, _noop, (), PRIORITY_NORMAL)
+        cal_q.push(t, _noop, (), PRIORITY_NORMAL)
+
+    heap_order, cal_order = [], []
+    now = 0.0
+    for _ in range(3000):
+        a = heap_q.pop()
+        b = cal_q.pop()
+        heap_order.append((a.time, a.priority, a.seq))
+        cal_order.append((b.time, b.priority, b.seq))
+        now = a.time
+        # Reschedule forward (never into the past), mixed near/far.
+        if len(heap_q) < 2048:
+            for _k in range(rng.choice((0, 1, 1, 2))):
+                dt = rng.random() * (WINDOW if rng.random() < 0.8 else 20 * WINDOW)
+                p = rng.choice(PRIORITIES)
+                heap_q.push(now + dt, _noop, (), p)
+                cal_q.push(now + dt, _noop, (), p)
+        if not heap_q:
+            break
+    assert cal_order == heap_order
+
+
+def test_dense_window_beyond_sparse_run_max():
+    """> SPARSE_RUN_MAX events in one far window forces the dense
+    bucket-distribution migration path; order must still match."""
+    n = SPARSE_RUN_MAX * 3
+    base = 50 * WINDOW  # far from t=0: guarantees a migration
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    rng = random.Random(7)
+    for _ in range(n):
+        t = base + rng.random() * WINDOW * 0.9
+        p = rng.choice(PRIORITIES)
+        heap_q.push(t, _noop, (), p)
+        cal_q.push(t, _noop, (), p)
+    assert _drain(cal_q) == _drain(heap_q)
+
+
+def test_pop_ready_until_horizon_identical():
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    for i in range(100):
+        t = i * 0.01
+        heap_q.push(t, _noop, (), PRIORITY_NORMAL)
+        cal_q.push(t, _noop, (), PRIORITY_NORMAL)
+    horizon = 0.495
+    a = []
+    while (ev := heap_q.pop_ready(horizon)) is not None:
+        a.append((ev.time, ev.seq))
+    b = []
+    while (ev := cal_q.pop_ready(horizon)) is not None:
+        b.append((ev.time, ev.seq))
+    assert a == b
+    assert a and a[-1][0] <= horizon
+    # The rest is still there on both.
+    assert len(heap_q) == len(cal_q) == 100 - len(a)
+
+
+def test_pop_from_empty_raises_on_both_paths():
+    for calendar in (False, True):
+        q = EventQueue(calendar=calendar)
+        with pytest.raises(SimulationError):
+            q.pop()
+        ev = q.push(0.0, _noop, (), PRIORITY_NORMAL)
+        ev.cancel()
+        q.note_cancelled()
+        assert not q
+        with pytest.raises(SimulationError):
+            q.pop()
+
+
+@pytest.mark.parametrize("seed", [30, 31])
+def test_simulator_fast_and_slow_execute_identically(seed):
+    """Full-kernel equivalence: same callbacks, same clock, same order —
+    including runtime cancellations and self-rescheduling timers."""
+
+    def build_and_run(fast: bool):
+        sim = Simulator(seed=seed, observe=False, fast=fast)
+        rng = random.Random(seed)
+        log = []
+        handles = {}
+
+        def fire(tag):
+            log.append((round(sim.now, 9), tag))
+            r = rng.random()
+            if r < 0.45 and tag < 4000:
+                dt = rng.random() * (0.1 if r < 0.3 else 5.0)
+                handles[tag + 1000] = sim.schedule(dt, fire, tag + 1000)
+            elif r < 0.55:
+                # Cancel some still-pending handle (idempotent).
+                if handles:
+                    victim = rng.choice(sorted(handles))
+                    sim.cancel(handles.pop(victim))
+
+        for i in range(300):
+            handles[i] = sim.schedule(rng.random() * 2.0, fire, i)
+        sim.run(until=50.0)
+        return log, sim.events_processed, sim.now
+
+    fast_result = build_and_run(True)
+    slow_result = build_and_run(False)
+    assert fast_result == slow_result
+    assert fast_result[1] > 300  # the workload actually rescheduled
