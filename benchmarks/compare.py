@@ -74,15 +74,29 @@ def compare_one(
     current_wall: Optional[float],
     baseline_wall: Optional[float],
     threshold: float,
+    current_scale: float = 1.0,
+    baseline_scale: float = 1.0,
 ) -> str:
-    """Return ``"ok" | "regression" | "new" | "missing"`` for one figure."""
+    """``"ok" | "regression" | "new" | "missing" | "scale-diff"``.
+
+    ``scale-diff`` means the two runs used different
+    ``REPRO_BENCH_SCALE`` values (e.g. a CI smoke run vs a local
+    full-scale run): wall clocks are incomparable, so the figure is
+    only warned about, never flagged as a regression.
+    """
     if current_wall is None:
         return "missing"
     if baseline_wall is None or baseline_wall <= 0:
         return "new"
+    if current_scale != baseline_scale:
+        return "scale-diff"
     if current_wall > baseline_wall * (1.0 + threshold):
         return "regression"
     return "ok"
+
+
+def _scale(doc: dict) -> float:
+    return float((doc.get("manifest") or {}).get("bench_scale", 1.0))
 
 
 def run(
@@ -120,11 +134,15 @@ def run(
     for figure in sorted(current):
         doc = current[figure]
         wall = doc.get("wall_seconds")
+        cur_scale = _scale(doc)
         if baseline_dir:
-            base = baseline.get(figure, {}).get("wall_seconds")
+            base_doc = baseline.get(figure, {})
+            base = base_doc.get("wall_seconds")
+            base_scale = _scale(base_doc)
         else:
             base = doc.get("previous_wall_seconds")
-        verdict = compare_one(figure, wall, base, threshold)
+            base_scale = float(doc.get("previous_bench_scale", cur_scale))
+        verdict = compare_one(figure, wall, base, threshold, cur_scale, base_scale)
         if verdict == "regression":
             regressions.append(figure)
         delta = (

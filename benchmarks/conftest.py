@@ -73,6 +73,7 @@ def bench_json(benchmark, full_scale):
         wall = float(stats.mean) if stats is not None else None
         merged = dict(metrics or {})
         merged.update(extra_metrics)
+        bench_scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0") or "1.0")
         doc = {
             "figure": figure_id,
             "wall_seconds": wall,
@@ -81,6 +82,7 @@ def bench_json(benchmark, full_scale):
                 "python_version": platform.python_version(),
                 "platform": platform.platform(),
                 "full_scale": full_scale,
+                "bench_scale": bench_scale,
                 "git_commit": _git_commit(),
                 "created_unix": round(time.time(), 3),
             },
@@ -88,11 +90,15 @@ def bench_json(benchmark, full_scale):
         path = REPO_ROOT / f"BENCH_{figure_id}.json"
         if path.exists():
             try:
-                previous = json.loads(path.read_text()).get("wall_seconds")
+                old = json.loads(path.read_text())
             except (ValueError, OSError):
-                previous = None
+                old = {}
+            previous = old.get("wall_seconds")
             if previous is not None:
                 doc["previous_wall_seconds"] = previous
+                doc["previous_bench_scale"] = (old.get("manifest") or {}).get(
+                    "bench_scale", 1.0
+                )
         path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
         return path
 
