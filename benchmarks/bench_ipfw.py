@@ -44,6 +44,11 @@ EVALS = max(2000, int(20_000 * SCALE))
 #: Gate: cached evaluation must be at least this much faster.
 MIN_SPEEDUP = 2.0
 
+#: Each wall-clock number is the best of this many runs — a single
+#: shot is at the mercy of scheduler/allocator noise (see
+#: ``bench_kernel.py`` on the +14% drift this caused).
+TIMING_ROUNDS = 3
+
 
 def build_firewall(flow_cache: bool) -> Firewall:
     fw = Firewall(name="bench", flow_cache=flow_cache)
@@ -83,16 +88,28 @@ def test_ipfw_flow_cache_speedup(benchmark, bench_json):
     evaluate_all(build_firewall(True), flows, evals=500)
     evaluate_all(build_firewall(False), flows, evals=500)
 
-    fw_fast = build_firewall(True)
-    fw_slow = build_firewall(False)
-
-    fast_wall = benchmark.pedantic(
-        evaluate_all, args=(fw_fast, flows), rounds=1, iterations=1
+    # ``wall_seconds`` (tracked by compare.py) is the min over rounds;
+    # each round gets a fresh firewall so the cache starts cold.
+    benchmark.pedantic(
+        evaluate_all,
+        setup=lambda: ((build_firewall(True), flows), {}),
+        rounds=TIMING_ROUNDS,
+        iterations=1,
     )
-    slow_wall = evaluate_all(fw_slow, flows)
+    fast_wall = min(
+        evaluate_all(build_firewall(True), flows) for _ in range(TIMING_ROUNDS)
+    )
+    slow_wall = min(
+        evaluate_all(build_firewall(False), flows) for _ in range(TIMING_ROUNDS)
+    )
     speedup = slow_wall / fast_wall
 
-    # The cache must not change the accounting the figures read.
+    # The cache must not change the accounting the figures read;
+    # checked on a dedicated cold pair that saw exactly EVALS packets.
+    fw_fast = build_firewall(True)
+    fw_slow = build_firewall(False)
+    evaluate_all(fw_fast, flows)
+    evaluate_all(fw_slow, flows)
     assert fw_fast.packets_evaluated == fw_slow.packets_evaluated == EVALS
     assert fw_fast.rules_scanned_total == fw_slow.rules_scanned_total
     fast_hits = [r.hits for r in fw_fast.rules]

@@ -10,11 +10,19 @@ figure-10/11 swarms.
 
 Both paths execute the identical schedule (asserted on the processed
 event counts); only wall clock differs. The hot-path gate requires the
-fast path to dispatch at least **2x** faster. Two secondary workloads
-(steady-state self-rescheduling timers and a wide horizon that
-exercises the window-migration path) are recorded as metrics but not
-gated — they mix in scheduling/callback work the optimisation does not
-claim.
+fast path to dispatch at least **2x** faster on the burst workload.
+Two secondary workloads are reported separately: steady-state
+self-rescheduling timers (ungated: dominated by scheduling/callback
+work the optimisation does not claim) and a wide horizon that
+exercises window migration — gated at **>= 1.0x** now that the
+adaptive window sizes itself to the observed event spread (the fixed
+256x1ms geometry used to *lose* here; see DESIGN.md).
+
+Every timing is the best of ``TIMING_ROUNDS`` runs: a single-shot
+measurement is at the mercy of allocator/scheduler noise, which showed
+up as an unexplained +14% ``wall_seconds`` drift between baseline
+regenerations. The min is the standard low-noise estimator for
+CPU-bound microbenchmarks.
 
 Scale: ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the event
 counts — CI smoke runs use 0.1.
@@ -37,12 +45,23 @@ STEADY_TIMERS = 2000
 WIDE_EVENTS = max(1000, int(200_000 * SCALE))
 WIDE_SPAN = 400.0
 
-#: Gate: fast path must dispatch at least this much faster.
+#: Gate: fast path must dispatch at least this much faster (burst).
 MIN_SPEEDUP = 2.0
+#: Gate: the migration-heavy wide horizon must not lose to the heap.
+MIN_WIDE_SPEEDUP = 1.0
+
+#: Each wall-clock number is the best of this many runs (noise floor).
+TIMING_ROUNDS = 3
 
 
 def _noop() -> None:
     pass
+
+
+def best_of(fn, *args, rounds: int = TIMING_ROUNDS, **kwargs) -> float:
+    """Minimum wall-clock over ``rounds`` runs of ``fn`` (least-noise
+    estimator: every source of interference only ever adds time)."""
+    return min(fn(*args, **kwargs) for _ in range(rounds))
 
 
 def dispatch_burst(fast: bool, events: int = DRAIN_EVENTS, span: float = DRAIN_SPAN):
@@ -99,16 +118,23 @@ def test_kernel_dispatch_speedup(benchmark, bench_json):
     dispatch_burst(True, events=2000)
     dispatch_burst(False, events=2000)
 
-    fast_wall = benchmark.pedantic(
-        dispatch_burst, kwargs={"fast": True}, rounds=1, iterations=1
+    # ``wall_seconds`` (what compare.py tracks across regenerations) is
+    # the multi-round mean of the gated fast-path burst; the speedup
+    # metrics divide best-of-N timings so one noisy round cannot move
+    # a recorded ratio.
+    benchmark.pedantic(
+        dispatch_burst, kwargs={"fast": True}, rounds=TIMING_ROUNDS, iterations=1
     )
-    slow_wall = dispatch_burst(False)
+    fast_wall = best_of(dispatch_burst, True)
+    slow_wall = best_of(dispatch_burst, False)
     speedup = slow_wall / fast_wall
 
-    steady_fast = dispatch_steady(True)
-    steady_slow = dispatch_steady(False)
-    wide_fast = dispatch_wide(True)
-    wide_slow = dispatch_wide(False)
+    steady_fast = best_of(dispatch_steady, True)
+    steady_slow = best_of(dispatch_steady, False)
+    wide_fast = best_of(dispatch_wide, True)
+    wide_slow = best_of(dispatch_wide, False)
+    steady_speedup = steady_slow / steady_fast
+    wide_speedup = wide_slow / wide_fast
 
     bench_json(
         "kernel",
@@ -118,20 +144,26 @@ def test_kernel_dispatch_speedup(benchmark, bench_json):
         speedup=round(speedup, 3),
         events_per_second_fast=round(DRAIN_EVENTS / fast_wall),
         events_per_second_slow=round(DRAIN_EVENTS / slow_wall),
-        steady_speedup=round(steady_slow / steady_fast, 3),
-        wide_speedup=round(wide_slow / wide_fast, 3),
+        steady_speedup=round(steady_speedup, 3),
+        wide_speedup=round(wide_speedup, 3),
     )
     print(
-        f"\nkernel dispatch: fast={fast_wall:.3f}s slow={slow_wall:.3f}s "
-        f"-> {speedup:.2f}x (steady {steady_slow / steady_fast:.2f}x, "
-        f"wide {wide_slow / wide_fast:.2f}x)\n"
+        f"\nkernel dispatch: burst fast={fast_wall:.3f}s slow={slow_wall:.3f}s "
+        f"-> {speedup:.2f}x | steady {steady_speedup:.2f}x | "
+        f"wide {wide_speedup:.2f}x\n"
     )
 
     assert speedup >= MIN_SPEEDUP, (
         f"event-dispatch fast path only {speedup:.2f}x over the heap-only "
         f"reference (need >= {MIN_SPEEDUP}x)"
     )
-    # The migration-heavy horizon must at least not regress. Too few
-    # events per window to measure at smoke scale, so full scale only.
+    # The migration-heavy horizon must not lose to the heap: the
+    # adaptive window re-derives its span from the observed spread, so
+    # wide timers get a wide window. Too few events per window to
+    # measure at smoke scale, so full scale only.
     if SCALE >= 1.0:
-        assert wide_slow / wide_fast >= 0.9
+        assert wide_speedup >= MIN_WIDE_SPEEDUP, (
+            f"wide-horizon dispatch only {wide_speedup:.2f}x over the "
+            f"heap-only reference (need >= {MIN_WIDE_SPEEDUP}x): the "
+            f"adaptive calendar window has regressed"
+        )

@@ -22,10 +22,14 @@ files are regenerated, and the checker must stay usable on a fresh
 checkout. Only actual regressions (and, under ``--gate``, a hot-path
 speedup below its floor) fail.
 
-``--gate`` additionally enforces the hot-path speedup floors the
-perf-sensitive microbenches record (``metrics.speedup`` in
-``BENCH_kernel.json`` / ``BENCH_ipfw.json`` must stay >= 2x). CI's
-bench-smoke job runs in this mode.
+``--gate`` additionally enforces **per-metric** speedup floors on the
+perf-sensitive microbenches. The defaults gate every speedup-shaped
+metric the benches record (top-line ``speedup`` *and* the secondary
+horizons like ``wide_speedup``), so a regression can no longer hide
+inside a passing aggregate — the exact failure mode that let
+``wide_speedup`` sit at 0.984 for a whole PR cycle. Extra or stricter
+floors stack on via ``--floor figure:metric>=N``. CI's bench-smoke job
+runs in this mode.
 
 Usage::
 
@@ -33,6 +37,7 @@ Usage::
     python benchmarks/compare.py --baseline old/      # vs checkout
     python benchmarks/compare.py --threshold 0.10     # stricter gate
     python benchmarks/compare.py --gate               # CI mode
+    python benchmarks/compare.py --gate --floor kernel:wide_speedup>=1.3
 """
 
 from __future__ import annotations
@@ -46,10 +51,28 @@ from typing import Dict, Optional
 DEFAULT_THRESHOLD = 0.25
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: Hot-path microbenches record a fast/slow ``speedup`` metric; under
-#: ``--gate`` it must stay at or above this floor (the optimisation's
-#: contract, matching the asserts inside the benches themselves).
-SPEEDUP_GATES = {"kernel": 2.0, "ipfw": 2.0}
+#: Hot-path microbenches record fast/slow speedup metrics; under
+#: ``--gate`` each listed metric must stay at or above its floor (the
+#: optimisation's contract, matching the asserts inside the benches
+#: themselves). Per-metric — a healthy top-line ``speedup`` does not
+#: excuse a losing secondary horizon.
+SPEEDUP_GATES: Dict[str, Dict[str, float]] = {
+    "kernel": {"speedup": 2.0, "steady_speedup": 1.0, "wide_speedup": 1.0},
+    "ipfw": {"speedup": 2.0},
+    "pipe": {"speedup": 1.0},
+}
+
+
+def parse_floor(spec: str) -> tuple:
+    """``"figure:metric>=N"`` -> ``(figure, metric, float(N))``."""
+    try:
+        figure, rest = spec.split(":", 1)
+        metric, floor = rest.split(">=", 1)
+        return figure.strip(), metric.strip(), float(floor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad --floor {spec!r} (expected figure:metric>=N)"
+        )
 
 
 def load_bench_files(directory: pathlib.Path) -> Dict[str, dict]:
@@ -104,7 +127,15 @@ def run(
     baseline_dir: Optional[pathlib.Path],
     threshold: float,
     gate: bool = False,
+    extra_floors: Optional[list] = None,
 ) -> int:
+    # Per-figure, per-metric floors: defaults plus any --floor specs
+    # (later specs override, so CI can tighten a default).
+    floors: Dict[str, Dict[str, float]] = {
+        fig: dict(metrics) for fig, metrics in SPEEDUP_GATES.items()
+    }
+    for fig, metric, floor in extra_floors or ():
+        floors.setdefault(fig, {})[metric] = floor
     current = load_bench_files(current_dir)
     if not current:
         print(f"no BENCH_*.json files found in {current_dir}", file=sys.stderr)
@@ -153,11 +184,14 @@ def run(
         base_s = f"{base:10.3f}" if base else f"{'-':>10}"
         wall_s = f"{wall:10.3f}" if wall is not None else f"{'-':>10}"
         print(f"{figure:<{width}}  {base_s}  {wall_s}  {delta}  {verdict}")
-        if gate and figure in SPEEDUP_GATES:
-            floor = SPEEDUP_GATES[figure]
-            speedup = (doc.get("metrics") or {}).get("speedup")
-            if speedup is None or speedup < floor:
-                gate_failures.append(f"{figure} (speedup={speedup}, floor={floor}x)")
+        if gate and figure in floors:
+            metrics = doc.get("metrics") or {}
+            for metric, floor in sorted(floors[figure].items()):
+                value = metrics.get(metric)
+                if value is None or value < floor:
+                    gate_failures.append(
+                        f"{figure}:{metric}={value} (floor {floor}x)"
+                    )
 
     if gate_failures:
         print(
@@ -200,11 +234,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--gate",
         action="store_true",
-        help="also enforce the hot-path speedup floors recorded by "
-        "bench_kernel/bench_ipfw (CI mode)",
+        help="also enforce the per-metric hot-path speedup floors "
+        "recorded by the microbenches (CI mode)",
+    )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        type=parse_floor,
+        default=[],
+        metavar="FIGURE:METRIC>=N",
+        help="extra (or overriding) per-metric gate floor; repeatable; "
+        "implies nothing unless --gate is set",
     )
     args = parser.parse_args(argv)
-    return run(args.current, args.baseline, args.threshold, gate=args.gate)
+    return run(
+        args.current,
+        args.baseline,
+        args.threshold,
+        gate=args.gate,
+        extra_floors=args.floor,
+    )
 
 
 if __name__ == "__main__":

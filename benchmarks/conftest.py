@@ -70,7 +70,13 @@ def bench_json(benchmark, full_scale):
 
     def _write(figure_id: str, metrics=None, **extra_metrics) -> pathlib.Path:
         stats = getattr(benchmark.stats, "stats", None)
-        wall = float(stats.mean) if stats is not None else None
+        # Min, not mean: the tracked wall-clock must be comparable
+        # across regenerations, and the mean of a handful of rounds
+        # inherits whatever the machine was doing at the time (a
+        # single-shot mean drifted +14% between two otherwise identical
+        # baselines). Interference only ever adds time, so the min is
+        # the stable estimator.
+        wall = float(stats.min) if stats is not None else None
         merged = dict(metrics or {})
         merged.update(extra_metrics)
         bench_scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0") or "1.0")

@@ -21,14 +21,25 @@ configured.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import FirewallError
 from repro.net.packet import Packet
 from repro.obs.flight import NULL_FLIGHT
 from repro.obs.metrics import BYTES_EDGES, NULL_REGISTRY
+from repro.sim.event import PRIORITY_NORMAL
 
 DeliverFn = Callable[[Packet], Any]
+
+#: Packet-train bounds. A train coalesces back-to-back serialization
+#: events on one shaped pipe into a single kernel event; its size is
+#: bounded by the pipe's bandwidth-delay product (packets within one
+#: BDP are in flight together anyway), floored at ``TRAIN_FLOOR_BYTES``
+#: so short/zero-delay access pipes still coalesce bursts, and capped
+#: at ``TRAIN_MAX_PACKETS`` entries.
+TRAIN_FLOOR_BYTES = 64 * 1024
+TRAIN_MAX_PACKETS = 256
 
 
 class DummynetPipe:
@@ -55,6 +66,14 @@ class DummynetPipe:
         "_m_drop_loss",
         "_m_drop_queue",
         "_m_occupancy",
+        "_batch",
+        "_train",
+        "_train_live",
+        "_train_bytes",
+        "_train_cap",
+        "_train_last_t",
+        "_m_trains",
+        "_m_coalesced",
     )
 
     def __init__(
@@ -66,6 +85,7 @@ class DummynetPipe:
         queue_limit: Optional[int] = None,
         name: str = "pipe",
         owner: Optional[str] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         """
         Parameters
@@ -84,6 +104,13 @@ class DummynetPipe:
             or ``"switch"`` for fabric port pipes). Used by the flight
             recorder / Perfetto export for row attribution; defaults to
             the pipe name.
+        batch:
+            ``True`` coalesces back-to-back serialization events into
+            packet-train events (shaped pipes only); ``False`` keeps
+            the per-packet reference path. ``None`` (default) follows
+            ``sim.fast``. Batching is observationally invisible: every
+            delivery keeps the exact ``(time, priority, seq)`` identity
+            the per-packet path would have given it.
         """
         if bandwidth is not None and bandwidth <= 0:
             raise FirewallError(f"pipe bandwidth must be positive, got {bandwidth}")
@@ -108,6 +135,20 @@ class DummynetPipe:
         self.packets_dropped_queue = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        # Packet-train batching (fast path; see DESIGN.md "Hot-path
+        # architecture"). The deque holds coalesced deliveries as
+        # ``(arrival_time, seq, deliver, packet)`` — each carrying the
+        # burned sequence number the per-packet path would have used.
+        self._batch = bool(getattr(sim, "fast", False)) if batch is None else batch
+        self._train: deque = deque()
+        self._train_live = False  # a head/continuation event will drain the deque
+        self._train_bytes = 0
+        self._train_last_t = 0.0  # newest arrival handed to the live train
+        self._train_cap = (
+            max(bandwidth * delay, float(TRAIN_FLOOR_BYTES))
+            if bandwidth is not None
+            else 0.0
+        )
         # Platform-wide pipe instruments (shared registry on the sim).
         registry = getattr(sim, "metrics", None) or NULL_REGISTRY
         self._m_out = registry.counter("net.pipe.packets_out")
@@ -116,6 +157,10 @@ class DummynetPipe:
         self._m_occupancy = registry.histogram(
             "net.pipe.queue_occupancy_bytes", edges=BYTES_EDGES
         )
+        # Train telemetry is wall-only: batching must stay invisible to
+        # deterministic snapshots (the reference path records zero).
+        self._m_trains = registry.counter("net.pipe.trains", wall=True)
+        self._m_coalesced = registry.counter("net.pipe.train_coalesced", wall=True)
 
     # ------------------------------------------------------------------
     def transmit(self, packet: Packet, deliver: DeliverFn) -> bool:
@@ -174,8 +219,102 @@ class DummynetPipe:
                 self.delay,
                 backlog_bytes,
             )
-        sim.schedule(arrival_delay, deliver, packet)
+        if self._batch and bandwidth is not None:
+            t_a = now + arrival_delay
+            if not self._train_live:
+                # Head of a new train. The kernel event consumes the
+                # same sequence number the per-packet path's push would
+                # have drawn; the delivery itself rides in the deque so
+                # the drain can hand the packet over with exactly the
+                # reference path's reference count (``_deliver_local``
+                # proves pool reuse by it). ``-1`` marks event-backed
+                # entries (never re-materialised, not deferred).
+                self._train_live = True
+                self._train_last_t = t_a
+                self._train.append((t_a, -1, deliver, packet))
+                self._train_bytes += size
+                self._m_trains.inc()
+                sim.schedule(arrival_delay, self._train_fire)
+            elif (
+                t_a >= self._train_last_t  # reconfigure() can shrink the delay
+                and self._train_bytes + size <= self._train_cap
+                and len(self._train) < TRAIN_MAX_PACKETS
+            ):
+                # Coalesce: no kernel event, but burn the sequence
+                # number the per-packet path's push would have drawn so
+                # the global (time, priority, seq) stream is unchanged.
+                seq = sim._queue.burn_seq()
+                self._train.append((t_a, seq, deliver, packet))
+                self._train_bytes += size
+                self._train_last_t = t_a
+                sim._deferred_deliveries += 1
+                self._m_coalesced.inc()
+            else:
+                # Train full (or a reconfigure made arrivals
+                # non-monotone): fall back to a plain event with exact
+                # reference identity. Only one chain per pipe may be
+                # live at a time — the drain relies on the deque front
+                # being its own event-backed entry.
+                sim.schedule(arrival_delay, deliver, packet)
+        else:
+            sim.schedule(arrival_delay, deliver, packet)
         return True
+
+    def _train_fire(self) -> None:
+        """Deliver the train's event-backed front entry, then drain.
+
+        The front of the deque is always the entry this event stands
+        for (the train head, or a follower re-materialised by a prior
+        drain). A follower is dispatched inline — with the clock
+        advanced to its own arrival time — only when its burned
+        ``(time, priority, seq)`` key provably precedes everything
+        still in the event queue, the kernel allows inline dispatch
+        (no ``max_events`` budget, no profiler, inside ``run()``), the
+        loop has not been stopped, and the arrival lies within the run
+        horizon. In every other case the follower is re-materialised
+        as a real queue event with its exact reference-path identity —
+        so the served total order is identical either way.
+
+        ``popleft`` + unpack drops the entry tuple before the callback
+        runs, so the packet reaches ``deliver`` with exactly the
+        reference path's reference count (``_deliver_local`` proves
+        pool reuse by it).
+        """
+        dq = self._train
+        _, _, d, p = dq.popleft()
+        self._train_bytes -= p.size
+        d(p)
+        if not dq:
+            self._train_live = False
+            return
+        sim = self.sim
+        queue = sim._queue
+        while dq:
+            head = dq[0]
+            t = head[0]
+            if sim._train_inline and not sim._stopped:
+                horizon = sim._horizon
+                if horizon is None or t <= horizon:
+                    nxt = queue.next_entry()
+                    # The tuple comparison resolves at the unique seq,
+                    # never reaching the queue entry's event object.
+                    if nxt is None or (t, PRIORITY_NORMAL, head[1]) < nxt:
+                        _, _, d, p = dq.popleft()
+                        self._train_bytes -= p.size
+                        sim._deferred_deliveries -= 1
+                        sim.now = t
+                        sim._extra_events += 1
+                        d(p)
+                        continue
+            # Re-materialise the front entry as a real queue event with
+            # its burned identity; it stays in the deque (marked ``-1``)
+            # so the continuation can hand the packet over with the
+            # reference reference count.
+            self._train[0] = (t, -1, head[2], head[3])
+            sim._deferred_deliveries -= 1
+            queue.push_with_seq(t, self._train_fire, (), PRIORITY_NORMAL, head[1])
+            return  # the continuation keeps the train live
+        self._train_live = False
 
     # ------------------------------------------------------------------
     @property
@@ -212,6 +351,10 @@ class DummynetPipe:
             if delay < 0:
                 raise FirewallError(f"pipe delay must be >= 0, got {delay}")
             self.delay = delay
+        if self.bandwidth is not None:
+            self._train_cap = max(
+                self.bandwidth * self.delay, float(TRAIN_FLOOR_BYTES)
+            )
         if plr is not None:
             if not 0.0 <= plr < 1.0:
                 raise FirewallError(f"pipe plr must be in [0,1), got {plr}")

@@ -19,6 +19,26 @@ architecture"):
   Events beyond the window overflow into the heap and are migrated
   in batches when the window advances.
 
+The calendar window is **adaptive**: the bucket count is fixed
+(:data:`NEAR_BUCKETS`) but the bucket *width* — and therefore the
+window span — is re-derived at every :meth:`_advance_window` re-anchor
+from the observed inter-event gaps of the far tier (the window is
+sized to hold about :data:`TARGET_WINDOW_EVENTS` events), and widened
+further under sustained near-tier push misses. A swarm whose timers
+span seconds (BitTorrent rerequest/choke/tracker timers) gets a
+seconds-wide window instead of falling through to the heap for almost
+every push; a burst of microsecond timers keeps the original
+256 x 1 ms geometry (the span never shrinks below
+``NEAR_BUCKETS * BUCKET_WIDTH``).
+
+Migration itself is sort-based rather than pop-based: a sorted
+ascending list satisfies the heap invariant, so the far tier can be
+``list.sort()``-ed in place (C-speed, and Timsort is nearly linear on
+the mostly-sorted arrays that monotone far pushes produce) and the new
+window sliced off its front — instead of paying one Python-level
+``heappop`` per migrated entry, which is exactly what made the fixed
+256 ms window *lose* to the reference heap on wide timer horizons.
+
 Both orderings are the same total order — the property tests in
 ``tests/test_event_fastpath.py`` pit them against each other on
 randomized schedules (including cancellations) and require identical
@@ -30,7 +50,7 @@ dominated ``push`` in profiles.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -43,22 +63,36 @@ PRIORITY_HIGH = -1
 #: Used for events that must observe all same-time user events.
 PRIORITY_LOW = 1
 
-#: Calendar tier geometry: ``NEAR_BUCKETS`` buckets of ``BUCKET_WIDTH``
-#: seconds each. The window spans 256 ms — wide enough that loopback
-#: (µs), rule-scan (µs–ms), serialization (µs–ms) and LAN/pipe delays
-#: (tens of ms) all land in the near tier; retransmission and choker
-#: timers (0.5 s+) overflow to the heap and migrate in batches.
+#: Calendar tier geometry: ``NEAR_BUCKETS`` buckets. ``BUCKET_WIDTH``
+#: is the *initial and minimum* bucket width: the window never spans
+#: less than ``NEAR_BUCKETS * BUCKET_WIDTH`` (256 ms) — wide enough
+#: that loopback (µs), rule-scan (µs–ms), serialization (µs–ms) and
+#: LAN/pipe delays (tens of ms) all land in the near tier. The width
+#: grows adaptively when the pending timers actually span further
+#: (multi-second rerequest/choke/tracker timers).
 NEAR_BUCKETS = 256
 BUCKET_WIDTH = 1e-3
+
+#: The adaptive window is sized to hold about this many far-tier
+#: events per re-anchor: the span candidate is the time offset of the
+#: ``TARGET_WINDOW_EVENTS``-th entry of the (sorted) far tier.
+TARGET_WINDOW_EVENTS = 1024
+
+#: Sustained near-tier miss pressure: when at least this many pushes
+#: since the last re-anchor landed just beyond the window (within
+#: ``MISS_HORIZON_SPANS`` spans of it), the next window is widened to
+#: cover the widest such miss.
+MISS_PRESSURE_MIN = 64
+MISS_HORIZON_SPANS = 4.0
 
 #: Upper bound on the Event free list (handles, not payloads).
 EVENT_POOL_CAP = 4096
 
-#: Window-advance hybrid threshold: when at most this many heap entries
-#: fall inside the new window they are served directly as one sorted
-#: run (heap pops already come out in total order); above it they are
-#: distributed into buckets so later same-window pushes stay O(1)
-#: appends instead of O(n) ordered inserts into a huge run.
+#: Window-advance hybrid threshold: a migrated window of at most this
+#: many entries is served directly as one sorted run (the slice is
+#: already in total order); above it entries are distributed into
+#: buckets so later same-window pushes stay O(1) appends instead of
+#: O(n) ordered inserts into a huge run.
 SPARSE_RUN_MAX = 512
 
 
@@ -136,12 +170,21 @@ class EventQueue:
     ``>= _win_end`` and every near entry's time is ``< _win_end``, so
     the near tier always drains before the heap and the pop order is
     exactly the heap-only ``(time, priority, seq)`` total order.
+
+    On the calendar path the far tier additionally tracks whether its
+    backing list is fully sorted (``_heap_sorted``): a sorted ascending
+    list is a valid binary heap, monotone far pushes keep it sorted
+    with a plain append, and window migration then reduces to a bisect
+    plus a front slice. Out-of-order far pushes fall back to
+    ``heappush`` and clear the flag; the next re-anchor restores it
+    with one C-speed ``sort()``.
     """
 
     __slots__ = (
         "_heap", "_seq", "_live", "_calendar", "_free",
         "_buckets", "_occ", "_sorted", "_si", "_cur",
         "_win_start", "_win_end", "_near", "_inv_width", "_span",
+        "_heap_sorted", "_miss_near", "_miss_span",
     )
 
     def __init__(self, calendar: Optional[bool] = None) -> None:
@@ -161,6 +204,9 @@ class EventQueue:
         self._win_start = 0.0
         self._win_end = self._span
         self._near = 0             # entries (live + tombstones) in the near tier
+        self._heap_sorted = True   # far-tier list is fully sorted (empty is)
+        self._miss_near = 0        # far pushes just beyond the window, since re-anchor
+        self._miss_span = 0.0      # widest such miss, as an offset from _win_start
 
     def __len__(self) -> int:
         return self._live
@@ -195,36 +241,114 @@ class EventQueue:
         else:
             ev = Event(time, priority, seq, callback, args)
         entry = (time, priority, seq, ev)
-        if self._calendar and time < self._win_end:
-            # Near tier. Bucket index relative to the window start;
-            # times at or before the current bucket (including
-            # float-edge rounding and out-of-order pushes below the
-            # window) join the opened sorted run, where an ordered
-            # insert keeps pop order exact.
-            idx = int((time - self._win_start) * self._inv_width)
-            if idx >= NEAR_BUCKETS:
-                idx = NEAR_BUCKETS - 1
-            if idx > self._cur:
-                bucket = self._buckets[idx]
-                if not bucket:
-                    heapq.heappush(self._occ, idx)
-                bucket.append(entry)
-            else:
-                s = self._sorted
-                si = self._si
-                if si >= len(s):
-                    # The opened run is fully consumed (its slots are
-                    # tombstoned to None); start a fresh run.
-                    self._sorted = [entry]
-                    self._si = 0
-                elif entry >= s[-1]:
-                    s.append(entry)  # overwhelmingly common: same-time FIFO
-                else:
-                    insort(s, entry, si)
-            self._near += 1
-        else:
+        if not self._calendar:
+            # Heap-only reference path, kept byte-for-byte equivalent
+            # to the pre-optimisation queue.
             heapq.heappush(self._heap, entry)
+            return ev
+        if time < self._win_end:
+            self._insert_near(entry)
+        else:
+            self._insert_far(entry)
         return ev
+
+    def push_with_seq(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        priority: int,
+        seq: int,
+    ) -> Event:
+        """Insert an event carrying a previously :meth:`burn_seq`-ed
+        sequence number.
+
+        This is how the pipe packet-train machinery re-materialises a
+        coalesced delivery as a real kernel event: the entry gets
+        exactly the ``(time, priority, seq)`` identity the per-packet
+        reference path would have given it, so the total order — and
+        therefore every observable — is unchanged.
+        """
+        self._live += 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.callback = callback
+            ev.args = args
+        else:
+            ev = Event(time, priority, seq, callback, args)
+        entry = (time, priority, seq, ev)
+        if not self._calendar:
+            heapq.heappush(self._heap, entry)
+        elif time < self._win_end:
+            self._insert_near(entry)
+        else:
+            self._insert_far(entry)
+        return ev
+
+    def burn_seq(self) -> int:
+        """Allocate (and consume) one sequence number without inserting
+        an event.
+
+        The caller promises to account for it: either dispatch the
+        associated work itself in exact ``(time, priority, seq)`` order
+        (the in-train fast path) or re-insert it later through
+        :meth:`push_with_seq`. Burning keeps the global sequence stream
+        identical to the reference path's, where every delivery is a
+        real ``push``.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def _insert_near(self, entry: tuple) -> None:
+        """Near tier. Bucket index relative to the window start; times
+        at or before the current bucket (including float-edge rounding
+        and out-of-order pushes below the window) join the opened
+        sorted run, where an ordered insert keeps pop order exact."""
+        idx = int((entry[0] - self._win_start) * self._inv_width)
+        if idx >= NEAR_BUCKETS:
+            idx = NEAR_BUCKETS - 1
+        if idx > self._cur:
+            bucket = self._buckets[idx]
+            if not bucket:
+                heapq.heappush(self._occ, idx)
+            bucket.append(entry)
+        else:
+            s = self._sorted
+            si = self._si
+            if si >= len(s):
+                # The opened run is fully consumed (its slots are
+                # tombstoned to None); start a fresh run.
+                self._sorted = [entry]
+                self._si = 0
+            elif entry >= s[-1]:
+                s.append(entry)  # overwhelmingly common: same-time FIFO
+            else:
+                insort(s, entry, si)
+        self._near += 1
+
+    def _insert_far(self, entry: tuple) -> None:
+        """Far tier, with the sorted-append fast path and the
+        near-miss pressure accounting the adaptive window feeds on."""
+        heap = self._heap
+        if self._heap_sorted and (not heap or entry >= heap[-1]):
+            heap.append(entry)  # a sorted list stays a valid heap
+        else:
+            heapq.heappush(heap, entry)
+            self._heap_sorted = False
+        time = entry[0]
+        if time < self._win_end + self._span * MISS_HORIZON_SPANS:
+            # A near miss: had the window been a few spans wider this
+            # push would have been an O(1) bucket append. The widest
+            # miss is kept as an absolute time — the window start will
+            # have moved by the time it is read at the next re-anchor.
+            self._miss_near += 1
+            if time > self._miss_span:
+                self._miss_span = time
 
     # ------------------------------------------------------------------
     # Near-tier machinery
@@ -249,70 +373,79 @@ class EventQueue:
         migrate every heap entry inside the new window into the near
         tier.
 
-        Hybrid migration: heap pops come out in ``(time, priority,
-        seq)`` order already, so a *sparse* window (at most
-        :data:`SPARSE_RUN_MAX` entries) is served directly as the
-        opened sorted run — no bucket machinery, no re-sort, the
-        per-entry cost is exactly the heap pop the reference path pays
-        anyway. A *dense* window is distributed into buckets so that
-        subsequent same-window pushes stay O(1) appends.
+        The new window's span is *adaptive*, derived from the far
+        tier's observed inter-event gaps: it is sized to hold about
+        :data:`TARGET_WINDOW_EVENTS` entries (the offset of the
+        TARGET-th entry of the sorted far tier), floored at the
+        original ``NEAR_BUCKETS * BUCKET_WIDTH`` geometry, and widened
+        to cover sustained near-miss push pressure. Adaptation depends
+        only on queue contents, never on wall clock, so it is fully
+        deterministic.
+
+        Migration is sort-based: the far tier is sorted in place (a
+        sorted list is a valid heap; a no-op when monotone appends
+        kept it sorted) and the window sliced off its front. A
+        *sparse* window (at most :data:`SPARSE_RUN_MAX` entries) is
+        served directly as the opened sorted run; a *dense* window is
+        distributed into buckets — in ascending order, so each bucket
+        is born sorted and its open-time ``sort()`` is a linear scan.
         """
         heap = self._heap
+        if not self._heap_sorted:
+            heap.sort()
+            self._heap_sorted = True
         t0 = heap[0][0]
-        span = self._span
-        inv = self._inv_width
+        n = len(heap)
+        if n > TARGET_WINDOW_EVENTS:
+            cand = heap[TARGET_WINDOW_EVENTS][0] - t0
+        else:
+            cand = heap[-1][0] - t0  # small far tier: take all of it
+        if self._miss_near >= MISS_PRESSURE_MIN and self._miss_span - t0 > cand:
+            cand = self._miss_span - t0
+        self._miss_near = 0
+        self._miss_span = 0.0
+        min_span = NEAR_BUCKETS * BUCKET_WIDTH
+        span = cand if cand > min_span else min_span
+        self._span = span
+        inv = self._inv_width = NEAR_BUCKETS / span
         self._win_start = t0
         end = self._win_end = t0 + span
+        # Entries with time == end stay in the heap (the invariant is
+        # strict: near times < _win_end). ``(end,)`` sorts before any
+        # real ``(end, prio, seq, ev)`` entry, so bisect_left lands on
+        # the first entry with time >= end.
+        k = bisect_left(heap, (end,))
+        run = heap[:k]
+        del heap[:k]
         self._occ.clear()
-        heappop = heapq.heappop
-        run: list = []
-        append = run.append
-        budget = SPARSE_RUN_MAX
-        while heap and heap[0][0] < end:
-            append(heappop(heap))
-            if budget == 0:
-                break
-            budget -= 1
-        if not heap or heap[0][0] >= end:
-            # Sparse window: serve the (already sorted) batch directly.
+        self._near = k
+        if k <= SPARSE_RUN_MAX:
+            # Sparse window: serve the (already sorted) slice directly.
             # The cursor rises to the run's last bucket so that later
             # same-window pushes below it do an ordered insert into the
             # run (order with buckets above the cursor stays correct:
             # every run time < (cur+1) bucket boundary).
             self._sorted = run
             self._si = 0
-            self._near = len(run)
             idx = int((run[-1][0] - t0) * inv)
             self._cur = NEAR_BUCKETS - 1 if idx >= NEAR_BUCKETS else idx
             return
-        # Dense window: distribute into buckets.
+        # Dense window: distribute into buckets, in ascending order.
         buckets = self._buckets
         occ = self._occ
         self._cur = 0
-        migrated = len(run)
+        heappush = heapq.heappush
         for entry in run:
             idx = int((entry[0] - t0) * inv)
             if idx >= NEAR_BUCKETS:
                 idx = NEAR_BUCKETS - 1
             bucket = buckets[idx]
             if not bucket and idx > 0:
-                heapq.heappush(occ, idx)
+                heappush(occ, idx)
             bucket.append(entry)
-        while heap and heap[0][0] < end:
-            entry = heappop(heap)
-            idx = int((entry[0] - t0) * inv)
-            if idx >= NEAR_BUCKETS:
-                idx = NEAR_BUCKETS - 1
-            bucket = buckets[idx]
-            if not bucket and idx > 0:
-                heapq.heappush(occ, idx)
-            bucket.append(entry)
-            migrated += 1
-        self._near = migrated
         bucket = buckets[0]  # holds the old heap top (idx 0) by construction
-        bucket.sort()
         buckets[0] = []
-        self._sorted = bucket
+        self._sorted = bucket  # slices of a sorted run are sorted
         self._si = 0
 
     def _peek_entry(self) -> Optional[tuple]:
@@ -342,6 +475,19 @@ class EventQueue:
                 self._open_next_bucket()
                 continue
             heap = self._heap
+            if self._heap_sorted:
+                # Sweep dead tops with one front slice, keeping the
+                # sorted-far-tier invariant (heappop would scramble it).
+                i = 0
+                hn = len(heap)
+                while i < hn and heap[i][3].callback is None:
+                    i += 1
+                if i:
+                    del heap[:i]
+                if heap:
+                    self._advance_window()
+                    continue
+                return None
             while heap:
                 if heap[0][3].callback is not None:
                     self._advance_window()
@@ -349,6 +495,18 @@ class EventQueue:
                 heapq.heappop(heap)
             else:
                 return None
+
+    def next_entry(self) -> Optional[tuple]:
+        """The next live ``(time, priority, seq, event)`` entry without
+        consuming it, or ``None`` when the queue is empty.
+
+        Used by the pipe packet-train drain to prove that a coalesced
+        delivery precedes everything still in the queue: a candidate
+        ``(time, priority, seq)`` triple compares against the returned
+        entry tuple directly (the comparison always resolves at the
+        unique ``seq`` and never reaches the event object).
+        """
+        return self._peek_entry()
 
     def _consume(self, entry: tuple) -> Event:
         """Remove the entry returned by :meth:`_peek_entry`."""
@@ -459,6 +617,11 @@ class EventQueue:
         self._sorted = []
         self._si = 0
         self._cur = 0
+        self._span = NEAR_BUCKETS * BUCKET_WIDTH
+        self._inv_width = 1.0 / BUCKET_WIDTH
         self._win_start = 0.0
         self._win_end = self._span
         self._near = 0
+        self._heap_sorted = True
+        self._miss_near = 0
+        self._miss_span = 0.0

@@ -78,6 +78,25 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        # Packet-train support (net/pipe.py). Trains coalesce per-pipe
+        # back-to-back deliveries into one kernel event; to stay
+        # observationally identical to the per-packet reference path
+        # the train drain needs the loop's horizon and permission to
+        # dispatch inline, and the kernel needs to account for
+        # deliveries the trains are holding outside the queue.
+        #: Active ``run(until=...)`` horizon (None outside ``run``).
+        self._horizon: Optional[float] = None
+        #: True while a train may dispatch coalesced deliveries inline
+        #: (set by ``run()``; off under ``max_events`` budgets, while
+        #: profiling, and outside ``run`` entirely, where every train
+        #: entry is re-materialised as a real queue event instead).
+        self._train_inline = False
+        #: Inline deliveries dispatched by trains this run; folded into
+        #: ``events_processed`` so the count matches the reference path.
+        self._extra_events = 0
+        #: Deliveries currently coalesced inside pipe trains (they are
+        #: pending work, but not queue entries).
+        self._deferred_deliveries = 0
         # Observability substrate (repro.obs). ``observe=False`` swaps
         # in shared no-op instruments: the hot loop then pays one bool
         # test per event and nothing else.
@@ -179,6 +198,11 @@ class Simulator:
         profile = profile_cb or profiler.enabled
         observe_cb = self._m_callback.observe
         record_prof = profiler.record if profiler.enabled else None
+        self._horizon = until
+        # Inline train dispatch bypasses the loop head, so it must be
+        # off whenever the loop head enforces something per-event: an
+        # event budget, or per-callback profiling.
+        self._train_inline = max_events is None and not profile
         try:
             if self.fast and not profile:
                 # Hot path: the common iteration — next slot of the
@@ -279,10 +303,14 @@ class Simulator:
                     if until is not None and until > self.now:
                         self.now = until
         finally:
+            processed += self._extra_events
+            self._extra_events = 0
+            self._horizon = None
+            self._train_inline = False
             self.events_processed += processed
             self._m_events.inc(processed)
             self._m_runs.inc()
-            self._m_queue_depth.set(len(queue))
+            self._m_queue_depth.set(len(queue) + self._deferred_deliveries)
             self._running = False
 
     def step(self) -> bool:
@@ -297,7 +325,7 @@ class Simulator:
         callback(*args)
         self.events_processed += 1
         self._m_events.inc()
-        self._m_queue_depth.set(len(self._queue))
+        self._m_queue_depth.set(len(self._queue) + self._deferred_deliveries)
         return True
 
     def stop(self) -> None:
@@ -306,8 +334,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live scheduled events."""
-        return len(self._queue)
+        """Number of live scheduled events (including deliveries
+        coalesced inside pipe packet trains)."""
+        return len(self._queue) + self._deferred_deliveries
 
     def manifest(
         self,

@@ -62,6 +62,8 @@ def _drain(queue: EventQueue):
     [
         0.5 * WINDOW,  # everything in the first near window (bucket tier)
         40 * WINDOW,  # spread far: migration, sparse windows, heap tier
+        2000 * WINDOW,  # swarm-timer territory: the adaptive span engages
+        500_000 * WINDOW,  # hours-wide horizon: every window re-derived
     ],
 )
 def test_pop_order_identical_on_random_schedules(seed, span):
@@ -192,6 +194,131 @@ def test_pop_from_empty_raises_on_both_paths():
         assert not q
         with pytest.raises(SimulationError):
             q.pop()
+
+
+def test_adaptive_window_widens_for_wide_spread():
+    """A wide event spread must re-derive a wide window: the span after
+    a migration is set by the observed gap to the TARGET_WINDOW_EVENTS-th
+    event, not the fixed 256x1ms minimum geometry."""
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    rng = random.Random(99)
+    span = 1000 * WINDOW  # ~256 s for the default geometry
+    for _ in range(5000):
+        t = rng.random() * span
+        heap_q.push(t, _noop, (), PRIORITY_NORMAL)
+        cal_q.push(t, _noop, (), PRIORITY_NORMAL)
+    # Drain a quarter: forces at least one window migration.
+    a = [cal_q.pop().seq for _ in range(1250)]
+    b = [heap_q.pop().seq for _ in range(1250)]
+    assert a == b
+    assert cal_q._span > WINDOW  # adapted beyond the minimum geometry
+    assert _drain(cal_q) == _drain(heap_q)
+
+
+def test_entries_exactly_on_win_end():
+    """``_win_end`` is exclusive for the near tier: entries landing
+    exactly on it (and a float-ulp either side) must keep exact order
+    through the tier boundary."""
+    import math
+
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    cal_q.push(0.0, _noop, (), PRIORITY_NORMAL)
+    heap_q.push(0.0, _noop, (), PRIORITY_NORMAL)
+    end = cal_q._win_end
+    times = [
+        math.nextafter(end, 0.0),  # one ulp inside the window
+        end,  # exactly on the boundary (far tier)
+        math.nextafter(end, math.inf),  # one ulp beyond
+        end,  # duplicate boundary time
+        end / 2,
+        end * 3,
+    ]
+    for t in times:
+        for p in PRIORITIES:
+            heap_q.push(t, _noop, (), p)
+            cal_q.push(t, _noop, (), p)
+    # The near-tier invariant: nothing at or past _win_end sits in a
+    # bucket or the opened run.
+    assert cal_q._near == sum(1 for t in times if t < end) * len(PRIORITIES) + 1
+    assert _drain(cal_q) == _drain(heap_q)
+
+
+@pytest.mark.parametrize("seed", [40, 41, 42])
+def test_cancellation_of_events_migrated_across_a_resize(seed):
+    """Cancel far-tier events before migration and near-tier events
+    after they have been migrated across a window resize; both queues
+    must agree at every step."""
+    rng = random.Random(seed)
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    heap_evs, cal_evs = [], []
+    # Two regimes: a dense prefix inside the first window and a wide
+    # tail that forces resized (adaptive) windows during the drain.
+    times = [rng.random() * WINDOW for _ in range(400)]
+    times += [WINDOW * (2 + rng.random() * 2000) for _ in range(1200)]
+    for t in times:
+        p = rng.choice(PRIORITIES)
+        heap_evs.append(heap_q.push(t, _noop, (), p))
+        cal_evs.append(cal_q.push(t, _noop, (), p))
+
+    def cancel(i):
+        for q, evs in ((heap_q, heap_evs), (cal_q, cal_evs)):
+            if not evs[i].cancelled:
+                evs[i].cancel()
+                q.note_cancelled()
+
+    # Cancel some far-tier events while they still sit in the heap.
+    for i in rng.sample(range(400, 1600), 200):
+        cancel(i)
+    order = []
+    popped = 0
+    while cal_q:
+        a = cal_q.pop()
+        b = heap_q.pop()
+        assert (a.time, a.priority, a.seq) == (b.time, b.priority, b.seq)
+        order.append(a.seq)
+        popped += 1
+        # Periodically cancel a pending victim mid-drain: by now many
+        # survivors have been migrated into a resized near window.
+        if popped % 97 == 0:
+            cancel(rng.randrange(len(times)))
+        assert len(cal_q) == len(heap_q)
+    assert len(order) == len(set(order))
+
+
+@pytest.mark.parametrize("seed", [50, 51])
+def test_mid_run_window_resizes_interleaved(seed):
+    """Pops interleaved with pushes whose spread flips between dense
+    (1 ms gaps) and wide (seconds) regimes: the window must re-derive
+    both down and up without ever reordering."""
+    rng = random.Random(seed)
+    heap_q = EventQueue(calendar=False)
+    cal_q = EventQueue(calendar=True)
+    for t in _random_times(rng, 128, WINDOW):
+        heap_q.push(t, _noop, (), PRIORITY_NORMAL)
+        cal_q.push(t, _noop, (), PRIORITY_NORMAL)
+    spans = []
+    for i in range(6000):
+        a = heap_q.pop()
+        b = cal_q.pop()
+        assert (a.time, a.priority, a.seq) == (b.time, b.priority, b.seq)
+        now = a.time
+        # Flip regime every ~500 pops.
+        wide = (i // 500) % 2 == 1
+        if len(heap_q) < 2048:
+            for _k in range(rng.choice((1, 1, 2))):
+                dt = rng.random() * (2000 * WINDOW if wide else WINDOW)
+                p = rng.choice(PRIORITIES)
+                heap_q.push(now + dt, _noop, (), p)
+                cal_q.push(now + dt, _noop, (), p)
+        spans.append(cal_q._span)
+        if not heap_q:
+            break
+    # The window really resized in both directions during the run.
+    assert max(spans) > 2 * WINDOW
+    assert min(spans) == pytest.approx(WINDOW)
 
 
 @pytest.mark.parametrize("seed", [30, 31])
