@@ -60,6 +60,9 @@ SPEEDUP_GATES: Dict[str, Dict[str, float]] = {
     "kernel": {"speedup": 2.0, "steady_speedup": 1.0, "wide_speedup": 1.0},
     "ipfw": {"speedup": 2.0},
     "pipe": {"speedup": 1.0},
+    # Critical-path speedup of the partitioned kernel at 4 workers
+    # (CPU-seconds based — machine-independent; see bench_dist.py).
+    "dist": {"speedup": 1.4},
 }
 
 

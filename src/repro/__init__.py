@@ -19,8 +19,8 @@ deterministic discrete-event emulation in pure Python:
 * :mod:`repro.analysis` — series/CDF/table utilities.
 """
 
-from repro.sim import Simulator
+from repro.sim import SimConfig, Simulator
 
 __version__ = "1.0.0"
 
-__all__ = ["Simulator", "__version__"]
+__all__ = ["SimConfig", "Simulator", "__version__"]

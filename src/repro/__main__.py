@@ -10,6 +10,7 @@ Examples::
 
     python -m repro list
     python -m repro fig6
+    python -m repro run fig10 --partitions 4 scale=0.5
     python -m repro fig8 -- leechers=40 file_size=8388608
     python -m repro all
     python -m repro metrics
@@ -32,6 +33,7 @@ import sys
 import time
 from typing import Any, Dict, List
 
+from repro.errors import SimulationError
 from repro.experiments import EXPERIMENTS, RunRequest, get_experiment
 
 
@@ -57,7 +59,36 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
     return overrides
 
 
-def run_one(experiment_id: str, overrides: Dict[str, Any]) -> int:
+# ----------------------------------------------------------------------
+# Shared argument builders: every subcommand's parser is assembled from
+# these, so an execution knob (--partitions, --seed, ...) is defined
+# once and spelled/behaves identically wherever it appears.
+# ----------------------------------------------------------------------
+def _add_overrides_arg(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument("overrides", nargs="*", help=f"key=value {what}")
+
+
+def _add_seed_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed (a seed=N override wins for back-compat)",
+    )
+
+
+def _add_partitions_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--partitions", type=int, default=None,
+        help="worker-process cap for partition-aware experiments "
+        "(repro.sim.partition; results are byte-identical for any value)",
+    )
+
+
+def run_one(
+    experiment_id: str,
+    overrides: Dict[str, Any],
+    seed: int | None = None,
+    partitions: int | None = None,
+) -> int:
     try:
         entry = get_experiment(experiment_id)
     except KeyError as exc:
@@ -65,10 +96,19 @@ def run_one(experiment_id: str, overrides: Dict[str, Any]) -> int:
         return 2
     print(f"== {entry.id}: {entry.title} ==")
     overrides = dict(overrides)
-    seed = int(overrides.pop("seed", 0))
-    request = RunRequest.make(entry.id, overrides, seed=seed)
+    if "seed" in overrides:
+        seed = int(overrides.pop("seed"))
+    elif seed is None:
+        seed = 0
+    request = RunRequest.make(
+        entry.id, overrides, seed=seed, partitions=partitions
+    )
     start = time.perf_counter()
-    result = entry.execute(request)
+    try:
+        result = entry.execute(request)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
     print(result.report)
     print(f"[{elapsed:.1f}s wall]")
@@ -101,7 +141,8 @@ def run_sweep(argv: List[str]) -> int:
         "--parallel", type=int, default=1,
         help="worker processes (0 = inline; default 1)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_seed_arg(parser)
+    _add_partitions_arg(parser)
     parser.add_argument(
         "--replications", type=int, default=1,
         help="replications per grid point (derived child seeds)",
@@ -157,7 +198,8 @@ def run_sweep(argv: List[str]) -> int:
         grid=grid,
         base_params=base,
         replications=args.replications,
-        base_seed=args.seed,
+        base_seed=args.seed if args.seed is not None else 0,
+        partitions=args.partitions,
     )
     print(
         f"== sweep {entry.id}: {len(plan)} points "
@@ -306,10 +348,20 @@ def run_trace(argv: List[str]) -> int:
     output non-reproducible), and ``sample_period`` (sim-seconds
     between time-series samples; default 5).
     """
-    if not argv:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Record a Chrome Trace Event JSON of a scaled-down swarm.",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help=f"traceable experiment id ({', '.join(sorted(set(_TRACE_PRESETS) | {'swarm'}))})",
+    )
+    _add_overrides_arg(parser, "overrides (out=, max_time=, profile=, SwarmConfig fields)")
+    args = parser.parse_intermixed_args(argv)
+    if args.experiment is None:
         print("usage: python -m repro trace <experiment> [out=trace.json]", file=sys.stderr)
         return 2
-    experiment_id, pairs = argv[0], argv[1:]
+    experiment_id, pairs = args.experiment, args.overrides
     known = set(_TRACE_PRESETS) | {"swarm"}
     if experiment_id not in known:
         print(
@@ -458,47 +510,101 @@ def run_bench(argv: List[str]) -> int:
     return status
 
 
-def main(argv: List[str] | None = None) -> int:
-    if argv is None:
-        argv = sys.argv[1:]
-    if argv and argv[0] == "sweep":
-        return run_sweep(list(argv[1:]))
-    if argv and argv[0] == "trace":
-        return run_trace(list(argv[1:]))
-    if argv and argv[0] == "bench":
-        return run_bench(list(argv[1:]))
+# ----------------------------------------------------------------------
+# Subcommand handlers. Each builds its parser from the shared argument
+# builders above and funnels work through :class:`RunRequest`, so every
+# entry path (single run, ``all``, ``sweep``) carries execution knobs
+# like ``--partitions`` identically.
+# ----------------------------------------------------------------------
+def _cmd_run(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate a figure/table of the P2PLab paper.",
+        prog="python -m repro run",
+        description="Run one experiment and print its report "
+        "(the 'run' word may be omitted: 'python -m repro fig6').",
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (see 'list'), 'list', 'all', 'metrics', "
-        "'trace', 'sweep', or 'bench'",
+    parser.add_argument("experiment", help="experiment id (see 'list')")
+    _add_overrides_arg(parser, "parameter overrides passed to the run function")
+    _add_seed_arg(parser)
+    _add_partitions_arg(parser)
+    args = parser.parse_intermixed_args(argv)
+    return run_one(
+        args.experiment,
+        _parse_overrides(args.overrides),
+        seed=args.seed,
+        partitions=args.partitions,
     )
-    parser.add_argument(
-        "overrides",
-        nargs="*",
-        help="key=value parameter overrides passed to the run function",
-    )
-    args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        width = max(len(i) for i in EXPERIMENTS)
-        for entry in EXPERIMENTS.values():
-            print(f"{entry.id:<{width}}  {entry.title}")
-        return 0
 
+def _cmd_all(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro all",
+        description="Run every registered experiment (scaled defaults).",
+    )
+    _add_overrides_arg(parser, "overrides applied to every experiment")
+    _add_seed_arg(parser)
+    _add_partitions_arg(parser)
+    args = parser.parse_intermixed_args(argv)
     overrides = _parse_overrides(args.overrides)
-    if args.experiment == "metrics":
-        return run_metrics(overrides)
-    if args.experiment == "all":
-        status = 0
-        for experiment_id in EXPERIMENTS:
-            status |= run_one(experiment_id, dict(overrides))
-            print()
-        return status
-    return run_one(args.experiment, overrides)
+    status = 0
+    for experiment_id in EXPERIMENTS:
+        status |= run_one(
+            experiment_id,
+            dict(overrides),
+            seed=args.seed,
+            partitions=args.partitions,
+        )
+        print()
+    return status
+
+
+def _cmd_list(argv: List[str]) -> int:
+    argparse.ArgumentParser(
+        prog="python -m repro list",
+        description="List all registered experiment ids.",
+    ).parse_args(argv)
+    width = max(len(i) for i in EXPERIMENTS)
+    for entry in EXPERIMENTS.values():
+        print(f"{entry.id:<{width}}  {entry.title}")
+    return 0
+
+
+def _cmd_metrics(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics",
+        description="Run a small swarm and dump manifest + metrics.",
+    )
+    _add_overrides_arg(
+        parser, "overrides (format=, out=, max_time=, SwarmConfig fields)"
+    )
+    args = parser.parse_intermixed_args(argv)
+    return run_metrics(_parse_overrides(args.overrides))
+
+
+#: The one command tree: every ``python -m repro`` invocation resolves
+#: to exactly one of these handlers; a leading experiment id is sugar
+#: for ``run <id>``.
+_COMMANDS = {
+    "run": _cmd_run,
+    "list": _cmd_list,
+    "all": _cmd_all,
+    "sweep": run_sweep,
+    "trace": run_trace,
+    "bench": run_bench,
+    "metrics": _cmd_metrics,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        print(f"\ncommands: {', '.join(sorted(_COMMANDS))}")
+        return 0 if argv else 2
+    command = argv[0]
+    if command in _COMMANDS:
+        return _COMMANDS[command](argv[1:])
+    # Legacy spelling: ``python -m repro fig6 k=v`` == ``run fig6 k=v``.
+    return _cmd_run(argv)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from repro.bittorrent.tracker import DEFAULT_TRACKER_PORT, TrackerServer
 from repro.core.scenario import ScenarioSpec
 from repro.errors import ExperimentError
 from repro.obs import RunManifest, Snapshot, topology_fingerprint
+from repro.sim import Simulator
 from repro.topology.compiler import compile_topology
 from repro.topology.presets import LinkProfile, bittorrent_profile
 from repro.topology.spec import TopologySpec
@@ -40,6 +41,12 @@ class SwarmConfig:
     #: Interval between successive leecher starts (paper: 10 s for the
     #: 160-client runs, 0.25 s for the 5754-client run).
     stagger: float = 10.0
+    #: Start-slot offset: this swarm's leechers occupy global stagger
+    #: slots ``offset .. offset+leechers-1``. Partitioned fig10 cells
+    #: use it so the union of all cells reproduces the single global
+    #: arrival process (cell j's first leecher starts where cell j-1's
+    #: last one left off).
+    stagger_offset: int = 0
     num_pnodes: int = 16
     seed: int = 0
     prefix: str = "10.0.0.0/16"
@@ -87,13 +94,18 @@ class Swarm:
 
     __test__ = False  # defensive: not a test helper despite usage in tests
 
-    def __init__(self, config: Optional[SwarmConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SwarmConfig] = None,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.config = config if config is not None else SwarmConfig()
         cfg = self.config
         if cfg.leechers < 1 or cfg.seeders < 1:
             raise ExperimentError("swarm needs at least one leecher and one seeder")
 
         self.testbed = Testbed(
+            sim=sim,
             num_pnodes=cfg.num_pnodes,
             seed=cfg.seed,
             tcp_explicit_acks=cfg.tcp_explicit_acks,
@@ -172,7 +184,9 @@ class Swarm:
         for seeder in self.seeders:
             self.sim.schedule(0.05, seeder.start)
         for i, leecher in enumerate(self.leechers):
-            self.sim.schedule(0.1 + i * cfg.stagger, leecher.start)
+            self.sim.schedule(
+                0.1 + (cfg.stagger_offset + i) * cfg.stagger, leecher.start
+            )
 
     def run(self, max_time: float = 20000.0, grace: float = 0.0) -> float:
         """Run until every leecher completed (or ``max_time``).

@@ -22,7 +22,6 @@ from repro.bittorrent.choker import Choker
 from repro.bittorrent.swarm import Swarm, SwarmConfig
 from repro.net.addr import IPv4Address, IPv4Network
 from repro.net.ipfw import ACTION_COUNT, DIR_OUT, Firewall
-from repro.net.ipfw_indexed import IndexedFirewall
 from repro.net.packet import Packet
 from repro.units import MB, gbps, mbps
 
@@ -59,7 +58,7 @@ def run_rule_lookup_ablation(
         linear = Firewall()
         _populate(linear, count)
         linear_scans.append(linear.evaluate(probe, DIR_OUT).scanned)
-        indexed = IndexedFirewall()
+        indexed = Firewall(indexed=True)
         _populate(indexed, count)
         indexed_scans.append(indexed.evaluate(probe, DIR_OUT).scanned)
     return RuleLookupResult(

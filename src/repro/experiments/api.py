@@ -62,6 +62,13 @@ class RunRequest:
     params: Tuple[Tuple[str, Any], ...] = ()
     seed: int = 0
     replication: int = 0
+    #: Worker-process cap for experiments that support the partitioned
+    #: kernel (:mod:`repro.sim.partition`); ``None`` = not requested.
+    #: A pure execution knob — results are byte-identical for every
+    #: value — so, like the sweep executor's ``parallel``, it is NOT
+    #: part of :attr:`key`: a checkpoint written at ``--partitions 2``
+    #: resumes cleanly under ``--partitions 4`` (or none).
+    partitions: Optional[int] = None
 
     @classmethod
     def make(
@@ -70,12 +77,14 @@ class RunRequest:
         params: Optional[Mapping[str, Any]] = None,
         seed: int = 0,
         replication: int = 0,
+        partitions: Optional[int] = None,
     ) -> "RunRequest":
         return cls(
             experiment_id=experiment_id,
             params=_freeze_params(params or {}),
             seed=seed,
             replication=replication,
+            partitions=partitions,
         )
 
     @property
@@ -98,20 +107,25 @@ class RunRequest:
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "experiment_id": self.experiment_id,
             "params": self.kwargs,
             "seed": self.seed,
             "replication": self.replication,
         }
+        if self.partitions is not None:
+            doc["partitions"] = self.partitions
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "RunRequest":
+        partitions = doc.get("partitions")
         return cls.make(
             doc["experiment_id"],
             doc.get("params") or {},
             seed=int(doc.get("seed", 0)),
             replication=int(doc.get("replication", 0)),
+            partitions=None if partitions is None else int(partitions),
         )
 
 
@@ -216,21 +230,28 @@ def make_execute(
     The request's ``seed`` is injected as the ``seed=`` kwarg when the
     run function accepts one (deterministic CPU-model experiments take
     no seed); explicit ``params['seed']`` overrides win for backwards
-    compatibility.
+    compatibility. ``request.partitions`` is forwarded the same way to
+    run functions that accept a ``partitions=`` kwarg — experiments
+    that cannot shard simply never see the knob.
     """
     extract = artifacts if artifacts is not None else default_artifacts
     try:
         sig = inspect.signature(run)
-        takes_seed = "seed" in sig.parameters or any(
+        var_kw = any(
             p.kind is inspect.Parameter.VAR_KEYWORD for p in sig.parameters.values()
         )
+        takes_seed = "seed" in sig.parameters or var_kw
+        takes_partitions = "partitions" in sig.parameters
     except (TypeError, ValueError):  # builtins / C callables
         takes_seed = True
+        takes_partitions = False
 
     def execute(request: RunRequest) -> RunResult:
         kwargs = request.kwargs
         if takes_seed:
             kwargs.setdefault("seed", request.seed)
+        if takes_partitions and request.partitions is not None:
+            kwargs.setdefault("partitions", request.partitions)
         value = run(**kwargs)
         return RunResult.ok(
             request,

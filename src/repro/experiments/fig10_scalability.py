@@ -17,16 +17,25 @@ event count (documented in DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.tables import Table
 from repro.bittorrent.swarm import Swarm, SwarmConfig
-from repro.core.collector import completion_curve
+from repro.core.collector import completion_curve, progress_series
 from repro.core.report import sample_progress
+from repro.errors import ExperimentError
 from repro.experiments.api import RunRequest, RunResult
+from repro.sim.config import SimConfig
+from repro.sim.partition import CellHandle, CellSpec, PartitionResult, run_partitioned
 from repro.units import KB, MB
 
 Series = List[Tuple[float, float]]
+
+#: Default cell count of the partitioned decomposition. Fixed by the
+#: experiment definition, NOT by ``partitions`` — the worker-process
+#: cap must never change what is computed (see repro.sim.partition).
+DEFAULT_CELLS = 4
 
 
 @dataclass(frozen=True)
@@ -39,6 +48,9 @@ class Fig10Result:
     first_completion: float
     last_completion: float
     median_completion: float
+    #: N-invariant partition layout when the run was partitioned
+    #: (cells, lookahead, windows); None for the legacy path.
+    partition: Optional[Dict[str, Any]] = None
 
     @property
     def bulk_window(self) -> float:
@@ -69,8 +81,31 @@ def run_fig10(
     seed: int = 0,
     max_time: float = 30000.0,
     select_every: int = 50,
+    partitions: Optional[int] = None,
+    cells: Optional[int] = None,
 ) -> Fig10Result:
-    """Run the scalability experiment at ``scale`` x 5754 clients."""
+    """Run the scalability experiment at ``scale`` x 5754 clients.
+
+    ``partitions=N`` switches to the partitioned decomposition (the
+    swarm split into ``cells`` independent sub-swarms, each with its
+    own tracker and address block, run by the distributed kernel on up
+    to ``N`` worker processes). The partitioned result depends on the
+    cell count — part of the experiment definition — but **not** on
+    ``N``: ``partitions=1`` and ``partitions=8`` are byte-identical.
+    ``partitions=None`` is the legacy single-simulator path.
+    """
+    if partitions is not None:
+        result, _merged = run_fig10_partitioned(
+            scale=scale,
+            stagger=stagger,
+            file_size=file_size,
+            seed=seed,
+            max_time=max_time,
+            select_every=select_every,
+            partitions=partitions,
+            cells=cells,
+        )
+        return result
     leechers = max(10, round(5754 * scale))
     pnodes = max(1, -(-(leechers + 5) // 32))  # keep 32 vnodes per pnode
     config = SwarmConfig(
@@ -103,6 +138,161 @@ def run_fig10(
     )
 
 
+# -- partitioned decomposition (repro.sim.partition) -------------------
+
+
+def _build_fig10_cell(
+    handle: CellHandle,
+    leechers: int,
+    seeders: int,
+    file_size: int,
+    stagger: float,
+    stagger_offset: int,
+    num_pnodes: int,
+    prefix: str,
+) -> Dict[str, Any]:
+    """Build one independent sub-swarm on the cell's simulator.
+
+    Each cell is a self-contained swarm (own tracker, own address
+    block, leechers occupying its slice of the global stagger slots);
+    cells never exchange traffic, so the decomposition needs no
+    lookahead and the driver runs a single fully-parallel window.
+    """
+    cfg = SwarmConfig(
+        leechers=leechers,
+        seeders=seeders,
+        file_size=file_size,
+        piece_length=256 * KB,
+        block_size=256 * KB,
+        stagger=stagger,
+        stagger_offset=stagger_offset,
+        num_pnodes=num_pnodes,
+        seed=handle.seed,
+        prefix=prefix,
+    )
+    swarm = Swarm(cfg, sim=handle.sim)
+    state: Dict[str, Any] = {"swarm": swarm, "done_at": {}}
+    target = len(swarm.leechers)
+
+    def on_complete(rec) -> None:
+        state["done_at"][rec.get("node")] = rec.time
+        if len(state["done_at"]) >= target:
+            handle.sim.stop()
+
+    swarm.sim.trace.subscribe("bt.complete", on_complete)
+    swarm.launch()
+    return state
+
+
+def _finish_fig10_cell(handle: CellHandle, state: Dict[str, Any]) -> Dict[str, Any]:
+    swarm = state["swarm"]
+    done_at = state["done_at"]
+    target = len(swarm.leechers)
+    if len(done_at) < target:
+        raise ExperimentError(
+            f"cell {handle.name!r} did not complete: {len(done_at)}/{target} "
+            f"leechers done by t={handle.sim.now:.0f}s"
+        )
+    return {
+        "completion_times": sorted(done_at.values()),
+        "progress": progress_series(swarm.sim.trace),
+        "clients": target,
+        "pnodes": swarm.config.num_pnodes,
+    }
+
+
+def _leecher_split(leechers: int, cells: int) -> List[int]:
+    """Near-even deterministic split (first ``leechers % cells`` cells
+    take the extra client)."""
+    base, extra = divmod(leechers, cells)
+    return [base + (1 if i < extra else 0) for i in range(cells)]
+
+
+def run_fig10_partitioned(
+    scale: float = 0.1,
+    stagger: float = 0.25,
+    file_size: int = 16 * MB,
+    seed: int = 0,
+    max_time: float = 30000.0,
+    select_every: int = 50,
+    partitions: int = 1,
+    cells: Optional[int] = None,
+) -> Tuple[Fig10Result, PartitionResult]:
+    """The partitioned scalability run; returns the figure result plus
+    the merged :class:`PartitionResult` (metrics/trace/flights — the
+    byte-identity comparison surface of the A/B tests)."""
+    leechers = max(10, round(5754 * scale))
+    num_cells = DEFAULT_CELLS if cells is None else cells
+    if num_cells < 1:
+        raise ExperimentError(f"cells must be >= 1, got {num_cells}")
+    num_cells = min(num_cells, leechers)  # every cell needs a leecher
+    splits = _leecher_split(leechers, num_cells)
+    specs: List[CellSpec] = []
+    offset = 0
+    pnodes_per_cell: List[int] = []
+    for i, count in enumerate(splits):
+        pnodes = max(1, -(-(count + 5) // 32))  # 32 vnodes/pnode per cell
+        pnodes_per_cell.append(pnodes)
+        specs.append(
+            CellSpec(
+                name=f"swarm{i}",
+                build=partial(
+                    _build_fig10_cell,
+                    leechers=count,
+                    seeders=4,
+                    file_size=file_size,
+                    stagger=stagger,
+                    stagger_offset=offset,
+                    num_pnodes=pnodes,
+                    prefix=f"10.{i}.0.0/16",
+                ),
+                finish=_finish_fig10_cell,
+            )
+        )
+        offset += count
+    merged = run_partitioned(
+        specs,
+        until=max_time,
+        seed=seed,
+        config=SimConfig(partitions=partitions),
+    )
+
+    all_times = sorted(
+        t
+        for name in merged.cells
+        for t in merged.per_cell[name]["artifacts"]["completion_times"]
+    )
+    completion = [(t, float(i + 1)) for i, t in enumerate(all_times)]
+    # Figure 10 sampling over the union of cells: qualify node names by
+    # cell (vnode names repeat per cell), order by start time, keep
+    # every k-th — the same rule sample_progress applies to one trace.
+    all_progress: Dict[str, Series] = {}
+    for name in merged.cells:
+        for node, series in merged.per_cell[name]["artifacts"]["progress"].items():
+            all_progress[f"{name}:{node}"] = series
+    every = max(1, min(select_every, leechers // 10))
+    ordered = sorted(all_progress.items(), key=lambda item: item[1][0][0])
+    selected = {
+        node: series
+        for i, (node, series) in enumerate(ordered, start=1)
+        if i % every == 0
+    }
+    total_pnodes = sum(pnodes_per_cell)
+    total_vnodes = leechers + num_cells * 5  # +4 seeders +1 tracker per cell
+    result = Fig10Result(
+        clients=leechers,
+        pnodes=total_pnodes,
+        vnodes_per_pnode=-(-total_vnodes // total_pnodes),
+        selected_progress=selected,
+        completion=completion,
+        first_completion=all_times[0],
+        last_completion=all_times[-1],
+        median_completion=all_times[len(all_times) // 2],
+        partition=merged.layout(),
+    )
+    return result, merged
+
+
 def print_report(result: Fig10Result) -> str:
     table = Table(
         ["metric", "value"],
@@ -117,6 +307,9 @@ def print_report(result: Fig10Result) -> str:
     table.add_row("bulk (p10-p90) window (s)", result.bulk_window)
     table.add_row("completion ramp steepness", result.ramp_steepness)
     table.add_row("selected clients plotted", len(result.selected_progress))
+    if result.partition is not None:
+        table.add_row("partition cells", len(result.partition["cells"]))
+        table.add_row("barrier windows", result.partition["windows"])
     return table.render()
 
 
@@ -124,7 +317,7 @@ def print_report(result: Fig10Result) -> str:
 
 
 def _artifacts(result: Fig10Result) -> dict:
-    return {
+    out = {
         "clients": result.clients,
         "pnodes": result.pnodes,
         "first_completion": result.first_completion,
@@ -133,12 +326,17 @@ def _artifacts(result: Fig10Result) -> dict:
         "bulk_window": result.bulk_window,
         "ramp_steepness": result.ramp_steepness,
     }
+    if result.partition is not None:
+        out["partition"] = result.partition
+    return out
 
 
 def run(request: RunRequest) -> RunResult:
     """Whole-figure entry point under the unified protocol."""
     kwargs = request.kwargs
     kwargs.setdefault("seed", request.seed)
+    if request.partitions is not None:
+        kwargs.setdefault("partitions", request.partitions)
     result = run_fig10(**kwargs)
     return RunResult.ok(
         request, value=result, artifacts=_artifacts(result), report=print_report(result)
@@ -151,6 +349,8 @@ def run_point(request: RunRequest) -> RunResult:
     the completion ramp evolves with swarm size."""
     params = request.kwargs
     params.setdefault("scale", 0.01)
+    if request.partitions is not None:
+        params.setdefault("partitions", request.partitions)
     result = run_fig10(seed=request.seed, **params)
     return RunResult.ok(
         request,

@@ -18,7 +18,6 @@ Models the parts of the network P2PLab controls:
 
 from repro.net.addr import IPv4Address, IPv4Network, ip, network
 from repro.net.ipfw import Firewall, Ipfw, Rule
-from repro.net.ipfw_indexed import IndexedFirewall
 from repro.net.nic import Interface
 from repro.net.packet import Packet
 from repro.net.pipe import DummynetPipe
@@ -36,7 +35,6 @@ __all__ = [
     "DummynetPipe",
     "Firewall",
     "Ipfw",
-    "IndexedFirewall",
     "Rule",
     "Sniffer",
     "Switch",

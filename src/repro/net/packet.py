@@ -28,6 +28,23 @@ PROTO_ICMP = "icmp"
 
 _packet_ids = itertools.count(1)
 
+
+def swap_id_stream(stream: "itertools.count") -> "itertools.count":
+    """Install ``stream`` as the packet-id source; return the old one.
+
+    The packet-id counter is the one piece of process-global state the
+    network layer owns. The partition driver
+    (:mod:`repro.sim.partition`) gives every cell its *own* id stream —
+    swapped in around each build/window/finish slice — so a cell's
+    flight and trace output is a function of the cell alone, not of
+    which other cells happen to share the worker process. Single-cell
+    code never needs this.
+    """
+    global _packet_ids
+    prev = _packet_ids
+    _packet_ids = stream
+    return prev
+
 #: Free list for :func:`acquire`/:func:`release` (bounded).
 _pool: list = []
 POOL_CAP = 2048

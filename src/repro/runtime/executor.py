@@ -85,6 +85,141 @@ def _worker_main(conn: Connection, runner: Runner, request: RunRequest, attempt:
             pass
 
 
+def _command_worker_main(conn: Connection, handler_factory, init_payload) -> None:
+    """Child entry point for a :class:`CommandWorker`.
+
+    Builds the handler once, then serves ``(command, payload)`` requests
+    until ``("close", None)`` — the long-lived dual of the one-shot
+    :func:`_worker_main` (a partition worker holds live simulators
+    across barrier windows, so it cannot be respawned per request).
+    """
+    try:
+        handler = handler_factory(init_payload)
+        conn.send(("ready", None))
+        while True:
+            command, payload = conn.recv()
+            if command == "close":
+                break
+            conn.send(("ok", handler(command, payload)))
+    except BaseException as exc:  # noqa: BLE001 — must never escape silently
+        try:
+            conn.send(
+                (
+                    "error",
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class WorkerCrashed(RuntimeError):
+    """A :class:`CommandWorker` child died or reported an exception."""
+
+
+class CommandWorker:
+    """A persistent worker process serving ``(command, payload)`` calls.
+
+    The sweep pool above spawns one process per point because each
+    point is a whole run; the partition driver
+    (:mod:`repro.sim.partition`) instead needs workers that *retain
+    state* (their cells' simulators) between short synchronous calls.
+    This wraps the same ``Pipe``/``Process``/crash-capture machinery in
+    a request/response shape:
+
+    ``handler_factory(init_payload)`` runs once in the child and
+    returns a ``handler(command, payload)`` callable; :meth:`request`
+    round-trips one command. A child that raises ships the traceback
+    back and every subsequent call raises :class:`WorkerCrashed`.
+    """
+
+    def __init__(
+        self,
+        handler_factory,
+        init_payload=None,
+        mp_context: Optional[str] = None,
+        name: str = "repro-worker",
+    ) -> None:
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        ctx = multiprocessing.get_context(mp_context)
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_command_worker_main,
+            args=(child_conn, handler_factory, init_payload),
+            daemon=True,
+            name=name,
+        )
+        self._process.start()
+        child_conn.close()
+        self._dead = False
+        self._recv()  # wait for ("ready", None) / surface build failures
+
+    def _recv(self):
+        try:
+            kind, payload = self._conn.recv()
+        except (EOFError, OSError):
+            self._dead = True
+            self._process.join(timeout=5.0)
+            raise WorkerCrashed(
+                f"{self._process.name} crashed "
+                f"(exitcode {self._process.exitcode})"
+            ) from None
+        if kind == "error":
+            self._dead = True
+            raise WorkerCrashed(
+                f"{self._process.name} failed: {payload['error']}\n"
+                f"{payload['traceback']}"
+            )
+        return payload
+
+    def send(self, command: str, payload=None) -> None:
+        """Dispatch a command without waiting (pair with :meth:`receive`).
+
+        The split form lets a coordinator fan a command out to every
+        worker before collecting any reply — the barrier-window driver
+        would otherwise serialize its workers."""
+        if self._dead:
+            raise WorkerCrashed(f"{self._process.name} is no longer running")
+        self._conn.send((command, payload))
+
+    def receive(self):
+        """Block for the reply to the oldest un-received :meth:`send`."""
+        return self._recv()
+
+    def request(self, command: str, payload=None):
+        """Send one command and block for its reply."""
+        self.send(command, payload)
+        return self._recv()
+
+    def close(self) -> None:
+        """Shut the child down (idempotent)."""
+        if not self._dead:
+            try:
+                self._conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+            self._dead = True
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+
 @dataclass
 class _Pending:
     request: RunRequest

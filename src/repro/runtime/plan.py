@@ -71,8 +71,13 @@ class ExecutionPlan:
         replications: int = 1,
         base_seed: int = 0,
         seeds: Optional[Sequence[int]] = None,
+        partitions: Optional[int] = None,
     ) -> "ExecutionPlan":
         """Expand ``grid`` × ``replications`` into run requests.
+
+        ``partitions`` (a pure execution knob, excluded from point
+        keys) is stamped on every request so experiments that support
+        the partitioned kernel shard each point's run.
 
         * ``grid`` maps parameter names to the values to sweep; the
           cross product is taken in sorted-key order (deterministic).
@@ -113,7 +118,11 @@ class ExecutionPlan:
                     )
                 points.append(
                     RunRequest.make(
-                        experiment_id, params, seed=seed, replication=rep
+                        experiment_id,
+                        params,
+                        seed=seed,
+                        replication=rep,
+                        partitions=partitions,
                     )
                 )
         return cls(

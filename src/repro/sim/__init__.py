@@ -12,14 +12,29 @@ scalability experiments (Figures 10/11 of the paper) push millions of
 events through it.
 """
 
+from repro.sim.config import DEFAULT_CONFIG, SimConfig
 from repro.sim.event import Event, EventQueue
 from repro.sim.kernel import Simulator
+from repro.sim.partition import (
+    CellHandle,
+    CellSpec,
+    PartitionLayout,
+    PartitionResult,
+    run_partitioned,
+)
 from repro.sim.process import Process, Signal
 from repro.sim.resources import Channel, Resource, Store
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 
 __all__ = [
+    "DEFAULT_CONFIG",
+    "SimConfig",
+    "CellHandle",
+    "CellSpec",
+    "PartitionLayout",
+    "PartitionResult",
+    "run_partitioned",
     "Event",
     "EventQueue",
     "Simulator",

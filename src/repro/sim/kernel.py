@@ -12,9 +12,14 @@ from repro.obs.flight import FlightRecorder, NULL_FLIGHT
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.profile import EventLoopProfiler, NULL_PROFILER
 from repro.obs.span import NULL_TRACER, Tracer
+from repro.sim.config import SimConfig
 from repro.sim.event import EVENT_POOL_CAP, Event, EventQueue, PRIORITY_NORMAL
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value in
+#: the deprecated ``Simulator(flight=..., fast=...)`` shim.
+_UNSET: Any = object()
 
 #: Bucket edges for the (wall-clock) per-callback latency histogram —
 #: callbacks run in microseconds to milliseconds.
@@ -36,18 +41,21 @@ class Simulator:
         runs exactly reproducible.
     observe:
         ``False`` swaps every instrument for its shared NULL no-op.
-    fast:
-        ``True`` enables the hot-path optimisations (calendar event
-        queue, event free list, packet reuse); ``False`` selects the
-        unoptimised reference path. ``None`` (default) follows the
-        ``REPRO_SLOW_PATH`` environment escape hatch (see
-        :mod:`repro.hotpath`). Both paths are observationally
-        identical: same event order, same metrics, same traces.
-    flight:
-        ``True`` (and ``observe=True``) attaches a
-        :class:`~repro.obs.flight.FlightRecorder` as ``sim.flight`` so
-        the network layers record per-packet hop-by-hop lifecycles.
-        Off by default: flights cost memory proportional to traffic.
+    config:
+        A :class:`~repro.sim.config.SimConfig` naming every behaviour
+        knob (hot path, flight recording, profiler, packet reuse,
+        partitioning). This is the canonical configuration surface.
+    flight, fast:
+        **Deprecated** keyword shims for ``config=SimConfig(flight=...,
+        fast=...)``; they emit a :class:`DeprecationWarning` and
+        override the corresponding config field for one release of
+        back-compat. ``fast=True`` enables the hot-path optimisations
+        (calendar event queue, event free list, packet reuse);
+        ``fast=False`` selects the unoptimised reference path; ``None``
+        follows the ``REPRO_SLOW_PATH`` environment escape hatch (see
+        :mod:`repro.hotpath`) — both paths are observationally
+        identical. ``flight=True`` (with ``observe=True``) attaches a
+        :class:`~repro.obs.flight.FlightRecorder` as ``sim.flight``.
 
     Examples
     --------
@@ -63,16 +71,39 @@ class Simulator:
         self,
         seed: int = 0,
         observe: bool = True,
-        flight: bool = False,
-        fast: Optional[bool] = None,
+        config: Optional[SimConfig] = None,
+        flight: Any = _UNSET,
+        fast: Any = _UNSET,
     ) -> None:
+        if flight is not _UNSET or fast is not _UNSET:
+            import warnings
+
+            warnings.warn(
+                "Simulator(flight=..., fast=...) is deprecated; pass "
+                "config=SimConfig(flight=..., fast=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config if config is not None else SimConfig()).replace(
+                **(
+                    ({} if flight is _UNSET else {"flight": flight})
+                    | ({} if fast is _UNSET else {"fast": fast})
+                )
+            )
+        #: The resolved configuration (defaults when none was given).
+        self.config: SimConfig = config if config is not None else SimConfig()
+        config = self.config
         self.now: float = 0.0
-        self.fast = (not SLOW_PATH) if fast is None else fast
+        self.fast = (not SLOW_PATH) if config.fast is None else config.fast
         self._queue = EventQueue(calendar=self.fast)
         #: Transports may recycle pooled packets when this is True; it
         #: is cleared whenever a packet tap is installed (a tap may
         #: retain packet objects) and on the slow reference path.
-        self.allow_packet_reuse = self.fast
+        self.allow_packet_reuse = (
+            self.fast
+            if config.allow_packet_reuse is None
+            else config.allow_packet_reuse
+        )
         self.rng = RngRegistry(seed)
         self.trace = TraceRecorder()
         self._running = False
@@ -109,10 +140,15 @@ class Simulator:
         #: Per-packet lifecycle recorder (NULL no-op unless requested).
         #: Network components cache this at construction, so it must be
         #: chosen before any stack/pipe/switch is built.
-        self.flight = FlightRecorder() if (observe and flight) else NULL_FLIGHT
+        self.flight = (
+            FlightRecorder() if (observe and config.flight) else NULL_FLIGHT
+        )
         #: Event-loop profiler (wall-clock; NULL no-op by default).
-        #: Enable with :meth:`enable_profiler` *before* ``run()``.
-        self.profiler = NULL_PROFILER
+        #: Enable with ``SimConfig(profiler=True)`` or
+        #: :meth:`enable_profiler` *before* ``run()``.
+        self.profiler = (
+            EventLoopProfiler() if config.profiler else NULL_PROFILER
+        )
         #: When True, each callback's wall-clock duration is recorded
         #: into the ``sim.kernel.callback_seconds`` histogram (a *wall*
         #: metric — excluded from deterministic snapshots).
@@ -331,6 +367,28 @@ class Simulator:
     def stop(self) -> None:
         """Request the active :meth:`run` loop to stop after the current event."""
         self._stopped = True
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when idle.
+
+        A safe lower bound on when this simulator can next act: pipe
+        packet trains always keep their head delivery materialised in
+        the queue, so coalesced deliveries never hide behind it. The
+        partition driver (:mod:`repro.sim.partition`) uses this between
+        barrier windows to compute the global conservative horizon.
+        """
+        return self._queue.peek_time()
+
+    @property
+    def stopped(self) -> bool:
+        """True when the most recent :meth:`run` ended via :meth:`stop`.
+
+        Cleared on entry to the next ``run()``. The partition driver
+        reads this after each barrier window: a cell that stopped
+        itself (e.g. a sub-swarm whose leechers all completed) is done
+        and drops out of subsequent windows.
+        """
+        return self._stopped
 
     @property
     def pending(self) -> int:

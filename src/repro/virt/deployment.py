@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.errors import VirtualizationError
 from repro.net.addr import IPv4Address, IPv4Network, network
 from repro.net.switch import Switch
-from repro.sim import Simulator
+from repro.sim import SimConfig, Simulator
 from repro.units import gbps, us
 from repro.virt.pnode import PhysicalNode
 from repro.virt.vnode import VirtualNode
@@ -43,12 +43,17 @@ class Testbed:
         tcp_explicit_acks: bool = False,
         observe: bool = True,
         flight: bool = False,
+        sim_config: Optional[SimConfig] = None,
     ) -> None:
         if num_pnodes < 1:
             raise VirtualizationError(f"need at least one physical node, got {num_pnodes}")
+        if sim_config is None:
+            sim_config = SimConfig(flight=flight)
+        elif flight:
+            sim_config = sim_config.replace(flight=True)
         self.sim = (
             sim if sim is not None
-            else Simulator(seed=seed, observe=observe, flight=flight)
+            else Simulator(seed=seed, observe=observe, config=sim_config)
         )
         self.admin_network = network(admin_network)
         if num_pnodes >= self.admin_network.num_addresses - 1:

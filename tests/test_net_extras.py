@@ -3,8 +3,7 @@
 import pytest
 
 from repro.net.addr import IPv4Address, IPv4Network
-from repro.net.ipfw import ACTION_COUNT, ACTION_DENY, ACTION_PIPE, DIR_OUT
-from repro.net.ipfw_indexed import IndexedFirewall
+from repro.net.ipfw import ACTION_COUNT, ACTION_DENY, ACTION_PIPE, DIR_OUT, Firewall
 from repro.net.packet import Packet
 from repro.net.pipe import DummynetPipe
 from repro.net.sniffer import Sniffer
@@ -195,7 +194,7 @@ class TestIndexedFirewall:
 
     def test_exact_rules_found_by_hash(self):
         sim = Simulator()
-        fw = IndexedFirewall()
+        fw = Firewall(indexed=True)
         pipe = fw.add_pipe(1, DummynetPipe(sim))
         for i in range(100):
             fw.add(ACTION_PIPE, pipe=pipe, src=IPv4Address("10.0.0.1") + i, direction=DIR_OUT)
@@ -204,7 +203,7 @@ class TestIndexedFirewall:
         assert v.scanned <= 3  # 2 hash probes + 1 candidate
 
     def test_prefix_rules_stay_linear(self):
-        fw = IndexedFirewall()
+        fw = Firewall(indexed=True)
         fw.add(ACTION_COUNT, src=IPv4Network("172.16.0.0/16"))
         fw.add(ACTION_DENY, src=IPv4Network("10.0.0.0/8"))
         v = fw.evaluate(self.probe(), DIR_OUT)
@@ -213,7 +212,7 @@ class TestIndexedFirewall:
     def test_rule_order_preserved_across_tables(self):
         """A deny numbered before an exact pipe rule must win."""
         sim = Simulator()
-        fw = IndexedFirewall()
+        fw = Firewall(indexed=True)
         pipe = fw.add_pipe(1, DummynetPipe(sim))
         fw.add(ACTION_DENY, number=100, src=IPv4Network("10.0.0.0/8"))
         fw.add(ACTION_PIPE, number=200, pipe=pipe, src=IPv4Address("10.0.0.1"))
@@ -222,7 +221,7 @@ class TestIndexedFirewall:
         assert v.pipes == ()
 
     def test_delete_and_flush(self):
-        fw = IndexedFirewall()
+        fw = Firewall(indexed=True)
         fw.add(ACTION_COUNT, number=100, src=IPv4Address("10.0.0.1"))
         fw.delete(100)
         assert fw.evaluate(self.probe(), DIR_OUT).scanned == 2  # probes only
@@ -233,7 +232,7 @@ class TestIndexedFirewall:
 
     def test_dst_indexing(self):
         sim = Simulator()
-        fw = IndexedFirewall()
+        fw = Firewall(indexed=True)
         pipe = fw.add_pipe(1, DummynetPipe(sim))
         fw.add(ACTION_PIPE, pipe=pipe, dst=IPv4Address("10.0.0.99"), direction="in")
         v = fw.evaluate(self.probe(), "in")

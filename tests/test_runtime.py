@@ -12,7 +12,7 @@ from repro.__main__ import _sweep_point_runner, main
 from repro.bittorrent.swarm import Swarm, SwarmConfig
 from repro.core import Experiment, ScenarioSpec
 from repro.experiments import EXPERIMENTS, RunRequest, RunResult, get_experiment
-from repro.net import Firewall, IndexedFirewall, Ipfw
+from repro.net import Firewall, Ipfw
 from repro.net.addr import IPv4Address, IPv4Network
 from repro.net.ipfw import ACTION_COUNT, ACTION_PIPE
 from repro.net.packet import Packet
@@ -483,8 +483,8 @@ class TestIndexedIpfw:
         assert v_lin.scanned == 100  # full linear walk
         assert v_idx.scanned == 2 + 100  # probes + candidates examined
 
-    def test_indexed_subclass_is_thin_shim(self):
-        fw = IndexedFirewall()
+    def test_indexed_constructor_flag(self):
+        fw = Firewall(indexed=True)
         assert isinstance(fw, Firewall)
         assert fw.indexed is True
 
