@@ -21,6 +21,11 @@ the ideal is 4x; the 1.4x floor (``compare.py`` ``dist`` gate) leaves
 room for cell imbalance and per-worker fixed costs. The raw
 coordinator walls are recorded alongside for transparency.
 
+Every timing is the best of ``TIMING_ROUNDS`` runs, the convention the
+other hotpath benches use (see ``bench_kernel.py`` on single-shot
+drift); for the CPU-seconds documents the kept round is the one with
+the lowest total busy time.
+
 Scale: ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the
 swarm scale, floored so even CI smoke runs keep enough per-cell work
 for the ratio to mean something.
@@ -44,6 +49,12 @@ PARTITIONS = 4
 MIN_SPEEDUP = 1.4
 
 
+#: Each timing (wall and busy-seconds document) is the best of this
+#: many runs — the single-shot convention drifted with machine load
+#: (see bench_kernel.py).
+TIMING_ROUNDS = 3
+
+
 def _run(partitions: int):
     t0 = time.perf_counter()
     result, merged = run_fig10_partitioned(
@@ -51,6 +62,16 @@ def _run(partitions: int):
     )
     wall = time.perf_counter() - t0
     return result, merged, wall
+
+
+def _best_run(partitions: int, rounds: int = TIMING_ROUNDS):
+    """Run ``rounds`` times; keep the round with the lowest total CPU
+    seconds (its busy-seconds document is the least load-polluted) and
+    the minimum coordinator wall."""
+    runs = [_run(partitions) for _ in range(rounds)]
+    best = min(runs, key=lambda r: sum(r[1].busy_seconds.values()))
+    wall = min(r[2] for r in runs)
+    return best[0], best[1], wall
 
 
 def _critical_path(merged, partitions: int) -> float:
@@ -64,11 +85,13 @@ def _critical_path(merged, partitions: int) -> float:
 
 
 def test_dist_partition_speedup(benchmark, bench_json):
-    result_1, merged_1, wall_1 = _run(partitions=1)
+    result_1, merged_1, wall_1 = _best_run(partitions=1)
 
     # wall_seconds tracked by compare.py: the sharded run.
-    benchmark.pedantic(_run, args=(PARTITIONS,), rounds=1, iterations=1)
-    result_4, merged_4, wall_4 = _run(partitions=PARTITIONS)
+    benchmark.pedantic(
+        _run, args=(PARTITIONS,), rounds=TIMING_ROUNDS, iterations=1
+    )
+    result_4, merged_4, wall_4 = _best_run(partitions=PARTITIONS)
 
     # Determinism contract: the merged document must not depend on the
     # worker count. (The full cross-hash-seed proof lives in

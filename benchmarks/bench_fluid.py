@@ -1,0 +1,233 @@
+"""Fluid-flow engine benchmark: steady-state bulk storm, fluid vs packet.
+
+The workload is the regime :mod:`repro.net.fluid` targets: long-lived
+bulk TCP transfers saturating shared access links. ``PAIRS``
+connections between two stacks all traverse a chained two-pipe uplink
+(access + ISP shaping, the classic dual-``ACTION_PIPE`` dummynet
+configuration) and a chained two-pipe downlink, each pushing ``MSGS``
+blocks of 16 KiB back to back — on the packet path that is a per-hop
+kernel event per segment; on the fluid path the flows demote to the
+max-min rate model and the whole storm advances by rate epochs plus
+(mostly inline) delivery dispatch, with per-segment cost independent
+of the hop count.
+
+Two gated metrics (``compare.py --gate``, asserted here at full scale):
+
+* ``events_ratio`` — packet-path ``events_processed`` over fluid-path
+  ``events_processed`` on the storm (>= 10x: the point of the model is
+  to collapse the per-packet event stream);
+* ``speedup`` — packet wall over fluid wall, best of ``TIMING_ROUNDS``
+  runs each (>= 3x).
+
+A single uncontended pair is also run both ways and its delivery times
+asserted **bit-identical** — the exactness class of the model's proof
+obligation (the full twin matrix lives in ``tests/test_fluid.py``;
+this is the cheap always-on anchor).
+
+Scale: ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the pair
+and block counts — CI smoke runs use 0.1 (gates are asserted only at
+full scale, but compare.py records whatever was measured).
+"""
+
+import os
+import time
+
+from repro.net.addr import IPv4Address
+from repro.net.ipfw import ACTION_PIPE, DIR_IN, DIR_OUT
+from repro.net.pipe import DummynetPipe
+from repro.net.socket_api import Socket
+from repro.net.stack import NetworkStack
+from repro.net.switch import Switch
+from repro.sim import Simulator
+from repro.sim.config import SimConfig
+from repro.sim.process import Process
+from repro.units import kbps, mbps
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0") or "1.0")
+
+#: Concurrent bulk transfers sharing the shaped pipes; floored (like
+#: bench_dist's swarm scale) so even CI smoke runs keep enough
+#: steady-state work for the gated ratios to mean something.
+PAIRS = max(4, int(8 * SCALE))
+#: 16 KiB blocks per transfer.
+MSGS = max(200, int(600 * SCALE))
+BLOCK = 16384
+
+#: Gates (full scale): the fluid path must collapse the event stream
+#: and convert that into wall-clock.
+MIN_EVENTS_RATIO = 10.0
+MIN_SPEEDUP = 3.0
+
+#: Each wall-clock number is the best of this many runs (see
+#: bench_kernel.py on single-shot drift).
+TIMING_ROUNDS = 3
+
+
+def storm(fluid: bool, pairs: int = PAIRS, msgs: int = MSGS):
+    """The shared-pipe bulk storm; returns (wall, delivered, events, end)."""
+    sim = Simulator(seed=11, config=SimConfig(fluid=fluid))
+    switch = Switch(sim)
+    tx = NetworkStack(sim, "tx", switch=switch)
+    tx.set_admin_address("192.168.77.1")
+    rx = NetworkStack(sim, "rx", switch=switch)
+    rx.set_admin_address("192.168.77.2")
+    tx.add_address("10.7.0.1")
+    rx.add_address("10.7.0.2")
+    tx.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=mbps(8), delay=0.02, name="up")
+    )
+    tx.fw.add_pipe(
+        2, DummynetPipe(sim, bandwidth=mbps(24), delay=0.005, name="isp")
+    )
+    tx.fw.add(ACTION_PIPE, pipe=1, src=IPv4Address("10.7.0.1"), direction=DIR_OUT)
+    tx.fw.add(ACTION_PIPE, pipe=2, src=IPv4Address("10.7.0.1"), direction=DIR_OUT)
+    rx.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=mbps(16), delay=0.01, name="down")
+    )
+    rx.fw.add_pipe(
+        2, DummynetPipe(sim, bandwidth=mbps(32), delay=0.005, name="lan")
+    )
+    rx.fw.add(ACTION_PIPE, pipe=1, dst=IPv4Address("10.7.0.2"), direction=DIR_IN)
+    rx.fw.add(ACTION_PIPE, pipe=2, dst=IPv4Address("10.7.0.2"), direction=DIR_IN)
+
+    delivered = [0]
+
+    def server(port: int):
+        sock = Socket(rx)
+        sock.bind(("10.7.0.2", port))
+        sock.listen()
+        conn = yield sock.accept()
+        got = 0
+        while got < msgs:
+            msg = yield conn.recv()
+            if msg is None:
+                break
+            got += 1
+            delivered[0] += 1
+        conn.close()
+
+    def client(port: int):
+        sock = Socket(tx)
+        sock.bind(("10.7.0.1", 0))
+        yield sock.connect(("10.7.0.2", port))
+        for i in range(msgs):
+            yield sock.send(("blk", i), BLOCK)
+        sock.close()
+
+    for k in range(pairs):
+        Process(sim, server(5000 + k))
+        Process(sim, client(5000 + k), start_delay=0.01 * (k + 1))
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    expect = pairs * msgs
+    assert delivered[0] == expect, (delivered[0], expect)
+    return wall, delivered[0], sim.events_processed, sim.now
+
+
+def exact_pair(fluid: bool, msgs: int = 50):
+    """One uncontended transfer — the exactness class. Returns
+    (arrival-times tuple, end time, events)."""
+    sim = Simulator(seed=5, config=SimConfig(fluid=fluid))
+    switch = Switch(sim)
+    a = NetworkStack(sim, "a", switch=switch)
+    a.set_admin_address("192.168.78.1")
+    b = NetworkStack(sim, "b", switch=switch)
+    b.set_admin_address("192.168.78.2")
+    a.add_address("10.8.0.1")
+    b.add_address("10.8.0.2")
+    a.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=kbps(512), delay=0.02, name="up")
+    )
+    a.fw.add(ACTION_PIPE, pipe=1, src=IPv4Address("10.8.0.1"), direction=DIR_OUT)
+    b.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=kbps(2048), delay=0.01, name="down")
+    )
+    b.fw.add(ACTION_PIPE, pipe=1, dst=IPv4Address("10.8.0.2"), direction=DIR_IN)
+
+    arrivals = []
+
+    def server():
+        sock = Socket(b)
+        sock.bind(("10.8.0.2", 5000))
+        sock.listen()
+        conn = yield sock.accept()
+        got = 0
+        while got < msgs:
+            msg = yield conn.recv()
+            if msg is None:
+                break
+            got += 1
+            arrivals.append(sim.now)
+        conn.close()
+
+    def client():
+        sock = Socket(a)
+        sock.bind(("10.8.0.1", 0))
+        yield sock.connect(("10.8.0.2", 5000))
+        for i in range(msgs):
+            yield sock.send(("blk", i), BLOCK)
+        sock.close()
+
+    Process(sim, server())
+    Process(sim, client(), start_delay=0.1)
+    sim.run()
+    return tuple(arrivals), sim.now, sim.events_processed
+
+
+def best_of(fluid: bool, rounds: int = TIMING_ROUNDS):
+    runs = [storm(fluid) for _ in range(rounds)]
+    wall = min(r[0] for r in runs)
+    return wall, runs[0][1], runs[0][2], runs[0][3]
+
+
+def test_fluid_storm_speedup(benchmark, bench_json):
+    # Warm-up both paths (interpreter/alloc caches).
+    storm(True, pairs=2, msgs=10)
+    storm(False, pairs=2, msgs=10)
+
+    # Exactness anchor: sole occupancy must be bit-identical.
+    ap, endp, evp = exact_pair(False)
+    af, endf, evf = exact_pair(True)
+    assert ap == af and endp == endf, (
+        "fluid exactness class diverged from the packet path"
+    )
+    exact_ratio = evp / max(evf, 1)
+
+    benchmark.pedantic(
+        storm, kwargs={"fluid": True}, rounds=TIMING_ROUNDS, iterations=1
+    )
+    fluid_wall, delivered, fluid_events, fluid_end = best_of(True)
+    packet_wall, _, packet_events, packet_end = best_of(False)
+    speedup = packet_wall / fluid_wall
+    events_ratio = packet_events / max(fluid_events, 1)
+    end_dev = abs(fluid_end - packet_end) / packet_end
+
+    bench_json(
+        "fluid",
+        pairs=PAIRS,
+        blocks=delivered,
+        packet_wall_seconds=round(packet_wall, 6),
+        fluid_wall_seconds=round(fluid_wall, 6),
+        speedup=round(speedup, 3),
+        packet_events=packet_events,
+        fluid_events=fluid_events,
+        events_ratio=round(events_ratio, 3),
+        exact_pair_events_ratio=round(exact_ratio, 3),
+        storm_end_deviation=round(end_dev, 6),
+    )
+    print(
+        f"\nfluid storm: packet={packet_wall:.3f}s fluid={fluid_wall:.3f}s "
+        f"-> {speedup:.2f}x wall, {events_ratio:.1f}x events "
+        f"({delivered} blocks, {PAIRS} pairs, end dev {end_dev * 100:.2f}%)\n"
+    )
+
+    if SCALE >= 1.0:
+        assert events_ratio >= MIN_EVENTS_RATIO, (
+            f"fluid path only collapsed events {events_ratio:.1f}x "
+            f"(need >= {MIN_EVENTS_RATIO}x)"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"fluid path only {speedup:.2f}x over the packet path "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )

@@ -63,6 +63,10 @@ SPEEDUP_GATES: Dict[str, Dict[str, float]] = {
     # Critical-path speedup of the partitioned kernel at 4 workers
     # (CPU-seconds based — machine-independent; see bench_dist.py).
     "dist": {"speedup": 1.4},
+    # Fluid-flow engine on the steady-state bulk storm: must collapse
+    # the per-packet event stream and convert it into wall-clock
+    # (see bench_fluid.py).
+    "fluid": {"speedup": 3.0, "events_ratio": 10.0},
 }
 
 

@@ -83,11 +83,21 @@ def _add_partitions_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fluid_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fluid", action="store_true", default=None,
+        help="model long bulk transfers as fluid flows (rate epochs "
+        "instead of per-packet events; see repro.net.fluid) for "
+        "experiments that accept the knob",
+    )
+
+
 def run_one(
     experiment_id: str,
     overrides: Dict[str, Any],
     seed: int | None = None,
     partitions: int | None = None,
+    fluid: bool | None = None,
 ) -> int:
     try:
         entry = get_experiment(experiment_id)
@@ -101,7 +111,7 @@ def run_one(
     elif seed is None:
         seed = 0
     request = RunRequest.make(
-        entry.id, overrides, seed=seed, partitions=partitions
+        entry.id, overrides, seed=seed, partitions=partitions, fluid=fluid
     )
     start = time.perf_counter()
     try:
@@ -143,6 +153,7 @@ def run_sweep(argv: List[str]) -> int:
     )
     _add_seed_arg(parser)
     _add_partitions_arg(parser)
+    _add_fluid_arg(parser)
     parser.add_argument(
         "--replications", type=int, default=1,
         help="replications per grid point (derived child seeds)",
@@ -200,6 +211,7 @@ def run_sweep(argv: List[str]) -> int:
         replications=args.replications,
         base_seed=args.seed if args.seed is not None else 0,
         partitions=args.partitions,
+        fluid=args.fluid,
     )
     print(
         f"== sweep {entry.id}: {len(plan)} points "
@@ -526,12 +538,14 @@ def _cmd_run(argv: List[str]) -> int:
     _add_overrides_arg(parser, "parameter overrides passed to the run function")
     _add_seed_arg(parser)
     _add_partitions_arg(parser)
+    _add_fluid_arg(parser)
     args = parser.parse_intermixed_args(argv)
     return run_one(
         args.experiment,
         _parse_overrides(args.overrides),
         seed=args.seed,
         partitions=args.partitions,
+        fluid=args.fluid,
     )
 
 
@@ -543,6 +557,7 @@ def _cmd_all(argv: List[str]) -> int:
     _add_overrides_arg(parser, "overrides applied to every experiment")
     _add_seed_arg(parser)
     _add_partitions_arg(parser)
+    _add_fluid_arg(parser)
     args = parser.parse_intermixed_args(argv)
     overrides = _parse_overrides(args.overrides)
     status = 0
@@ -552,6 +567,7 @@ def _cmd_all(argv: List[str]) -> int:
             dict(overrides),
             seed=args.seed,
             partitions=args.partitions,
+            fluid=args.fluid,
         )
         print()
     return status

@@ -20,7 +20,7 @@ from repro.bittorrent.tracker import DEFAULT_TRACKER_PORT, TrackerServer
 from repro.core.scenario import ScenarioSpec
 from repro.errors import ExperimentError
 from repro.obs import RunManifest, Snapshot, topology_fingerprint
-from repro.sim import Simulator
+from repro.sim import SimConfig, Simulator
 from repro.topology.compiler import compile_topology
 from repro.topology.presets import LinkProfile, bittorrent_profile
 from repro.topology.spec import TopologySpec
@@ -60,6 +60,10 @@ class SwarmConfig:
     #: Record per-packet hop-by-hop flights (requires ``observe``).
     #: Off by default: memory grows with traffic volume.
     flight: bool = False
+    #: Model long bulk transfers as fluid flows (rate epochs instead of
+    #: per-packet events) — see :mod:`repro.net.fluid`. Off by default;
+    #: short/control traffic always stays on the packet path.
+    fluid: bool = False
 
     @property
     def total_peers(self) -> int:
@@ -111,6 +115,11 @@ class Swarm:
             tcp_explicit_acks=cfg.tcp_explicit_acks,
             observe=cfg.observe,
             flight=cfg.flight,
+            sim_config=(
+                SimConfig(flight=cfg.flight, fluid=cfg.fluid)
+                if sim is None
+                else None
+            ),
         )
         self.sim = self.testbed.sim
         self.sim.trace.enable("bt.progress", "bt.complete", "bt.start")

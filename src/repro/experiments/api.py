@@ -69,6 +69,12 @@ class RunRequest:
     #: part of :attr:`key`: a checkpoint written at ``--partitions 2``
     #: resumes cleanly under ``--partitions 4`` (or none).
     partitions: Optional[int] = None
+    #: Fluid-flow transfer model (:mod:`repro.net.fluid`); ``None`` =
+    #: not requested (the experiment's own default applies). Unlike
+    #: ``partitions`` this is a *model* knob — fluid runs produce
+    #: different (approximated) results — so a set value IS part of
+    #: :attr:`key`; unset requests keep their legacy keys.
+    fluid: Optional[bool] = None
 
     @classmethod
     def make(
@@ -78,6 +84,7 @@ class RunRequest:
         seed: int = 0,
         replication: int = 0,
         partitions: Optional[int] = None,
+        fluid: Optional[bool] = None,
     ) -> "RunRequest":
         return cls(
             experiment_id=experiment_id,
@@ -85,6 +92,7 @@ class RunRequest:
             seed=seed,
             replication=replication,
             partitions=partitions,
+            fluid=fluid,
         )
 
     @property
@@ -99,9 +107,12 @@ class RunRequest:
         Deterministic across interpreter runs and ``PYTHONHASHSEED``
         values (plain JSON of canonicalized fields, no ``hash()``).
         """
+        payload = [self.experiment_id, list(list(p) for p in self.params),
+                   self.seed, self.replication]
+        if self.fluid is not None:
+            payload.append({"fluid": self.fluid})
         return json.dumps(
-            [self.experiment_id, list(list(p) for p in self.params),
-             self.seed, self.replication],
+            payload,
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -115,17 +126,21 @@ class RunRequest:
         }
         if self.partitions is not None:
             doc["partitions"] = self.partitions
+        if self.fluid is not None:
+            doc["fluid"] = self.fluid
         return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "RunRequest":
         partitions = doc.get("partitions")
+        fluid = doc.get("fluid")
         return cls.make(
             doc["experiment_id"],
             doc.get("params") or {},
             seed=int(doc.get("seed", 0)),
             replication=int(doc.get("replication", 0)),
             partitions=None if partitions is None else int(partitions),
+            fluid=None if fluid is None else bool(fluid),
         )
 
 
@@ -242,9 +257,11 @@ def make_execute(
         )
         takes_seed = "seed" in sig.parameters or var_kw
         takes_partitions = "partitions" in sig.parameters
+        takes_fluid = "fluid" in sig.parameters
     except (TypeError, ValueError):  # builtins / C callables
         takes_seed = True
         takes_partitions = False
+        takes_fluid = False
 
     def execute(request: RunRequest) -> RunResult:
         kwargs = request.kwargs
@@ -252,6 +269,8 @@ def make_execute(
             kwargs.setdefault("seed", request.seed)
         if takes_partitions and request.partitions is not None:
             kwargs.setdefault("partitions", request.partitions)
+        if takes_fluid and request.fluid is not None:
+            kwargs.setdefault("fluid", request.fluid)
         value = run(**kwargs)
         return RunResult.ok(
             request,

@@ -83,6 +83,7 @@ def run_fig10(
     select_every: int = 50,
     partitions: Optional[int] = None,
     cells: Optional[int] = None,
+    fluid: bool = False,
 ) -> Fig10Result:
     """Run the scalability experiment at ``scale`` x 5754 clients.
 
@@ -104,6 +105,7 @@ def run_fig10(
             select_every=select_every,
             partitions=partitions,
             cells=cells,
+            fluid=fluid,
         )
         return result
     leechers = max(10, round(5754 * scale))
@@ -119,6 +121,7 @@ def run_fig10(
         num_pnodes=pnodes,
         seed=seed,
         prefix="10.0.0.0/8",
+        fluid=fluid,
     )
     swarm = Swarm(config)
     last = swarm.run(max_time=max_time)
@@ -217,6 +220,7 @@ def run_fig10_partitioned(
     select_every: int = 50,
     partitions: int = 1,
     cells: Optional[int] = None,
+    fluid: bool = False,
 ) -> Tuple[Fig10Result, PartitionResult]:
     """The partitioned scalability run; returns the figure result plus
     the merged :class:`PartitionResult` (metrics/trace/flights — the
@@ -254,7 +258,7 @@ def run_fig10_partitioned(
         specs,
         until=max_time,
         seed=seed,
-        config=SimConfig(partitions=partitions),
+        config=SimConfig(partitions=partitions, fluid=fluid),
     )
 
     all_times = sorted(

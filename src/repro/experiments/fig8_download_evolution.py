@@ -35,6 +35,7 @@ def run_fig8(
     num_pnodes: int = 16,
     seed: int = 0,
     max_time: float = 20000.0,
+    fluid: bool = False,
 ) -> Fig8Result:
     config = SwarmConfig(
         leechers=leechers,
@@ -43,6 +44,7 @@ def run_fig8(
         stagger=stagger,
         num_pnodes=num_pnodes,
         seed=seed,
+        fluid=fluid,
     )
     swarm = Swarm(config)
     last = swarm.run(max_time=max_time)

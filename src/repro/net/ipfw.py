@@ -226,6 +226,11 @@ class Firewall:
         # first because the ``indexed`` property setter flushes it.
         self._flow_cache: Dict[Tuple[int, int, str, str], Tuple[Verdict, Tuple[Rule, ...]]] = {}
         self.flow_cache_enabled = (not SLOW_PATH) if flow_cache is None else flow_cache
+        #: Monotone counter bumped whenever a cached verdict could go
+        #: stale (rule add/delete/flush, pipe table change, cost-model
+        #: flip). The fluid flow engine (net/fluid.py) snapshots it per
+        #: resolved path and re-probes when it moves.
+        self.generation = 0
         #: Wall-clock performance counters for the cache itself (plain
         #: attributes; the registry twins are ``wall=True`` so they are
         #: excluded from deterministic snapshots — the cache is a
@@ -273,6 +278,7 @@ class Firewall:
         if value != self._indexed:
             self._indexed = value
             self._flow_cache.clear()
+            self.generation += 1
 
     # -- pipe table ----------------------------------------------------
     def add_pipe(self, pipe_id: int, pipe: DummynetPipe) -> DummynetPipe:
@@ -281,6 +287,7 @@ class Firewall:
             raise FirewallError(f"pipe {pipe_id} already configured")
         self._pipes[pipe_id] = pipe
         self._flow_cache.clear()
+        self.generation += 1
         return pipe
 
     def pipe(self, pipe_id: int) -> DummynetPipe:
@@ -319,6 +326,7 @@ class Firewall:
             self._generic.append(rule)
         self._dirty = True
         self._flow_cache.clear()
+        self.generation += 1
         self._m_rules.inc()
         if number >= self._next_number:
             self._next_number = number + 100
@@ -347,6 +355,7 @@ class Firewall:
         self._generic = [r for r in self._generic if r.number != number]
         self._dirty = True
         self._flow_cache.clear()
+        self.generation += 1
 
     def flush(self) -> None:
         self._m_rules.dec(len(self._rules))
@@ -360,6 +369,7 @@ class Firewall:
         self._next_number = 100
         self._dirty = False
         self._flow_cache.clear()
+        self.generation += 1
 
     @property
     def rules(self) -> List[Rule]:

@@ -316,6 +316,38 @@ class DummynetPipe:
             return  # the continuation keeps the train live
         self._train_live = False
 
+    def _train_flush(self) -> None:
+        """Re-materialise every coalesced follower as a real queue event.
+
+        Called by :meth:`reconfigure`: a live train's coalescing
+        envelope (``_train_cap``, the monotone-arrival watermark) was
+        computed under the *old* bandwidth/delay, so carrying it across
+        a parameter change leaves ``_train_bytes`` and the deferred
+        accounting inconsistent with the new configuration — and the
+        non-monotone-arrival fallback then pins every subsequent packet
+        on the unbatched path until the stale train drains. Flushing is
+        observationally invisible: each follower becomes a plain
+        delivery event with the exact ``(time, priority, seq)`` identity
+        the per-packet path would have used (the same mechanism
+        ``_train_fire`` uses to re-materialise), and the event-backed
+        front entry stays so the already-scheduled head event finds the
+        deque it expects. After the flush a fresh train can form under
+        the new parameters as soon as the head fires.
+        """
+        dq = self._train
+        if len(dq) <= 1:
+            return
+        sim = self.sim
+        queue = sim._queue
+        head = dq.popleft()
+        while dq:
+            t, seq, d, p = dq.popleft()
+            self._train_bytes -= p.size
+            sim._deferred_deliveries -= 1
+            queue.push_with_seq(t, d, (p,), PRIORITY_NORMAL, seq)
+        dq.append(head)
+        self._train_last_t = head[0]
+
     # ------------------------------------------------------------------
     @property
     def backlog_seconds(self) -> float:
@@ -361,6 +393,15 @@ class DummynetPipe:
             self.plr = plr
             if self._rng is None and plr > 0:
                 self._rng = self.sim.rng.stream(f"pipe.loss/{self.name}")
+        # A live train was coalesced under the old parameters: flush its
+        # followers back to real events (observationally invisible) so
+        # train state and batching restart cleanly under the new ones.
+        self._train_flush()
+        # Fluid flows traversing this pipe need a rate epoch (or, if the
+        # pipe just became lossy, the packet path).
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.on_pipe_reconfigured(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bw = "unshaped" if self.bandwidth is None else f"{self.bandwidth:.0f}B/s"

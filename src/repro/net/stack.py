@@ -139,6 +139,12 @@ class NetworkStack:
         # simulator: clear the sim-wide reuse flag permanently.
         if getattr(self.sim, "allow_packet_reuse", False):
             self.sim.allow_packet_reuse = False
+        # A tap must observe real packets: any fluid flow touching this
+        # stack de-fluidizes, materializing its remaining bytes back
+        # onto the packet path at the flow's current offset.
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.on_tap_attached(self)
 
     def remove_tap(self, tap: Callable[[Packet], None]) -> None:
         """Detach a tap from whichever direction it is attached to."""

@@ -171,6 +171,19 @@ class Connection:
                 admitted.trigger(None)
 
     def _transmit(self, seg: _Segment, kind: str) -> None:
+        if kind == KIND_DATA:
+            # Fluid seam: an attached FlowScheduler (SimConfig(fluid=True))
+            # may take over delivery of eligible bulk DATA segments —
+            # no packet is built and no per-hop events are scheduled.
+            # Control traffic (SYN/FIN/ACK/RST) and ineligible segments
+            # always take the exact packet path below.
+            fluid = getattr(self.sim, "fluid", None)
+            if fluid is not None and fluid.admit(self, seg, kind):
+                seg.sent_at = self.sim.now
+                self._m_segments.inc()
+                self.bytes_sent += seg.size
+                self.messages_sent += 1
+                return
         pkt = acquire(
             self.local[0],
             self.remote[0],
@@ -363,6 +376,9 @@ class Connection:
         if not self.recv_channel.closed:
             self.recv_channel.close()
         self.tcp.forget(self)
+        fluid = getattr(self.sim, "fluid", None)
+        if fluid is not None:
+            fluid.on_conn_closed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -53,6 +53,16 @@ class SimConfig:
         Conservative sync window for partitioned runs, in simulated
         seconds; ``None`` derives it from the topology (or treats
         cells as uncoupled when they declare no cross-traffic).
+    fluid:
+        Attach a :class:`~repro.net.fluid.FlowScheduler` to the
+        simulator: eligible long-lived bulk TCP transfers are modelled
+        as *flows* advanced by rate-change epochs instead of per-packet
+        events. Only effective on the fast path; ``REPRO_SLOW_PATH=1``
+        always selects the reference packet path regardless.
+    fluid_threshold:
+        Minimum wire size (bytes, TCP header included) a segment must
+        reach to be eligible for the fluid path; smaller transfers stay
+        on the exact packet path.
     """
 
     fast: Optional[bool] = None
@@ -61,6 +71,8 @@ class SimConfig:
     allow_packet_reuse: Optional[bool] = None
     partitions: int = 1
     lookahead: Optional[float] = None
+    fluid: bool = False
+    fluid_threshold: int = 8192
 
     def __post_init__(self) -> None:
         if self.partitions < 1:
@@ -70,6 +82,10 @@ class SimConfig:
         if self.lookahead is not None and self.lookahead <= 0:
             raise SimulationError(
                 f"lookahead must be positive, got {self.lookahead!r}"
+            )
+        if self.fluid_threshold < 1:
+            raise SimulationError(
+                f"fluid_threshold must be >= 1, got {self.fluid_threshold!r}"
             )
 
     def replace(self, **changes: Any) -> "SimConfig":

@@ -144,6 +144,32 @@ class Event:
             other.seq,
         )
 
+    # A cancelled entry re-inserted through ``push_with_seq`` can tie an
+    # existing tombstone on all of (time, priority, seq), so entry-tuple
+    # comparisons may reach the Event objects themselves. At most one of
+    # such a pair is live (the other is skipped on pop), making their
+    # mutual order irrelevant — these just keep the comparison total.
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) <= (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) > (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) >= (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else getattr(
             self.callback, "__qualname__", repr(self.callback)

@@ -159,6 +159,14 @@ class Simulator:
         self._m_callback = self.metrics.histogram(
             "sim.kernel.callback_seconds", edges=CALLBACK_SECONDS_EDGES, wall=True
         )
+        #: Flow-level transfer engine (net/fluid.py), or ``None``.
+        #: Requires the fast path; ``REPRO_SLOW_PATH=1`` always selects
+        #: the reference packet path regardless of the config.
+        self.fluid = None
+        if config.fluid and self.fast and not SLOW_PATH:
+            from repro.net.fluid import FlowScheduler
+
+            self.fluid = FlowScheduler(self, threshold=config.fluid_threshold)
 
     def enable_profiler(self) -> EventLoopProfiler:
         """Attach (and return) a live :class:`EventLoopProfiler`.
@@ -346,7 +354,10 @@ class Simulator:
             self.events_processed += processed
             self._m_events.inc(processed)
             self._m_runs.inc()
-            self._m_queue_depth.set(len(queue) + self._deferred_deliveries)
+            depth = len(queue) + self._deferred_deliveries
+            if self.fluid is not None:
+                depth += self.fluid.deferred
+            self._m_queue_depth.set(depth)
             self._running = False
 
     def step(self) -> bool:
@@ -373,7 +384,9 @@ class Simulator:
 
         A safe lower bound on when this simulator can next act: pipe
         packet trains always keep their head delivery materialised in
-        the queue, so coalesced deliveries never hide behind it. The
+        the queue, and the fluid flow engine keeps one event at (or
+        before) its earliest pending delivery, so deferred deliveries
+        never hide behind it. The
         partition driver (:mod:`repro.sim.partition`) uses this between
         barrier windows to compute the global conservative horizon.
         """
@@ -393,8 +406,12 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live scheduled events (including deliveries
-        coalesced inside pipe packet trains)."""
-        return len(self._queue) + self._deferred_deliveries
+        coalesced inside pipe packet trains and segments held by the
+        fluid flow engine)."""
+        n = len(self._queue) + self._deferred_deliveries
+        if self.fluid is not None:
+            n += self.fluid.deferred
+        return n
 
     def manifest(
         self,

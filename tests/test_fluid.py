@@ -1,0 +1,295 @@
+"""Twin A/B tests for the flow-level transfer engine (net/fluid.py).
+
+The model's proof obligation has two classes (see the module
+docstring): where it claims **exactness** (a transfer alone on its
+pipes) delivery times must equal the packet path bit-for-bit; where it
+**approximates** (contended max-min fair sharing) completion times
+must stay within the gated tolerance. Around those sit the seam
+contracts: a mid-transfer tap attach de-fluidizes onto the packet
+path, ``SimConfig(fluid=False)`` and ``REPRO_SLOW_PATH=1`` select the
+reference path outright, and under the partitioned kernel the merged
+result is byte-identical for every worker count.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro
+from repro.net.addr import IPv4Address
+from repro.net.ipfw import ACTION_PIPE, DIR_IN, DIR_OUT
+from repro.net.pipe import DummynetPipe
+from repro.net.socket_api import Socket
+from repro.net.stack import NetworkStack
+from repro.net.switch import Switch
+from repro.sim import CellSpec, SimConfig, Simulator, run_partitioned
+from repro.sim.process import Process
+from repro.units import kbps
+
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+BLOCK = 16384
+
+#: Contended-class tolerance (the fig8 gate from the issue).
+TOLERANCE = 0.02
+
+
+# ----------------------------------------------------------------------
+# Topology helpers
+# ----------------------------------------------------------------------
+def _pair_sim(fluid, n=40, seed=5, config=None, on_build=None):
+    """One bulk transfer a->b through an up (512 kbps) and a down
+    (2048 kbps) pipe — the exactness class. Returns
+    (arrivals, end, events, sim)."""
+    sim = Simulator(
+        seed=seed, observe=True, config=config or SimConfig(fluid=fluid)
+    )
+    switch = Switch(sim)
+    a = NetworkStack(sim, "a", switch=switch)
+    a.set_admin_address("192.168.38.1")
+    b = NetworkStack(sim, "b", switch=switch)
+    b.set_admin_address("192.168.38.2")
+    a.add_address("10.0.0.1")
+    b.add_address("10.0.0.2")
+    a.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=kbps(512), delay=0.02, name="up")
+    )
+    a.fw.add(ACTION_PIPE, pipe=1, src=IPv4Address("10.0.0.1"), direction=DIR_OUT)
+    b.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=kbps(2048), delay=0.01, name="down")
+    )
+    b.fw.add(ACTION_PIPE, pipe=1, dst=IPv4Address("10.0.0.2"), direction=DIR_IN)
+
+    arrivals = []
+
+    def server():
+        sock = Socket(b)
+        sock.bind(("10.0.0.2", 5000))
+        sock.listen()
+        conn = yield sock.accept()
+        got = 0
+        while got < n:
+            msg = yield conn.recv()
+            if msg is None:
+                break
+            got += 1
+            arrivals.append((sim.now, msg))
+        conn.close()
+
+    def client():
+        sock = Socket(a)
+        sock.bind(("10.0.0.1", 0))
+        yield sock.connect(("10.0.0.2", 5000))
+        for i in range(n):
+            yield sock.send(("blk", i), BLOCK)
+        sock.close()
+
+    Process(sim, server())
+    Process(sim, client(), start_delay=0.1)
+    if on_build is not None:
+        on_build(sim, a, b)
+    sim.run()
+    return tuple(arrivals), sim.now, sim.events_processed, sim
+
+
+def _contended_sim(fluid, n=30, seed=5):
+    """Two senders staggered onto one shared 1 Mbps download pipe —
+    the contended (fair-share) class. Returns ({key: finish}, events)."""
+    sim = Simulator(seed=seed, observe=True, config=SimConfig(fluid=fluid))
+    switch = Switch(sim)
+    stacks = []
+    for i, name in enumerate(("s1", "s2", "dst")):
+        st = NetworkStack(sim, name, switch=switch)
+        st.set_admin_address(f"192.168.39.{i + 1}")
+        st.add_address(f"10.0.1.{i + 1}")
+        stacks.append(st)
+    s1, s2, dst = stacks
+    dst.fw.add_pipe(
+        1, DummynetPipe(sim, bandwidth=kbps(1024), delay=0.01, name="down")
+    )
+    dst.fw.add(ACTION_PIPE, pipe=1, dst=IPv4Address("10.0.1.3"), direction=DIR_IN)
+
+    finish = {}
+
+    def server(port, key):
+        sock = Socket(dst)
+        sock.bind(("10.0.1.3", port))
+        sock.listen()
+        conn = yield sock.accept()
+        got = 0
+        while got < n:
+            msg = yield conn.recv()
+            if msg is None:
+                break
+            got += 1
+        finish[key] = sim.now
+        conn.close()
+
+    def client(stack, ip, port):
+        sock = Socket(stack)
+        sock.bind((ip, 0))
+        yield sock.connect(("10.0.1.3", port))
+        for i in range(n):
+            yield sock.send(("chunk", i), BLOCK)
+        sock.close()
+
+    Process(sim, server(5001, "a"))
+    Process(sim, server(5002, "b"))
+    Process(sim, client(s1, "10.0.1.1", 5001), start_delay=0.1)
+    Process(sim, client(s2, "10.0.1.2", 5002), start_delay=0.9)
+    sim.run()
+    return finish, sim.events_processed
+
+
+# ----------------------------------------------------------------------
+# Exactness class
+# ----------------------------------------------------------------------
+def test_exact_class_bit_identical():
+    ap, endp, evp, _ = _pair_sim(False)
+    af, endf, evf, simf = _pair_sim(True)
+    assert ap == af
+    assert endp == endf
+    # The point of the engine: far fewer kernel events for the same
+    # observable timeline.
+    assert evf < evp / 3
+    assert simf.metrics.get("net.fluid.segments").value >= 40
+
+
+def test_contended_class_within_tolerance():
+    fp, evp = _contended_sim(False)
+    ff, evf = _contended_sim(True)
+    assert set(fp) == set(ff) == {"a", "b"}
+    for key in fp:
+        dev = abs(ff[key] - fp[key]) / fp[key]
+        assert dev <= TOLERANCE, (key, fp[key], ff[key], dev)
+    assert evf < evp
+
+
+# ----------------------------------------------------------------------
+# Hybridization seam
+# ----------------------------------------------------------------------
+def test_defluidize_on_tap_attach_mid_transfer():
+    tapped = []
+
+    def attach(sim, a, b):
+        # Mid-transfer (the 40-block run spans ~13 s simulated), a
+        # Sniffer lands on the sender: remaining bytes must leave the
+        # fluid path and become observable packets.
+        sim.schedule_at(
+            5.0, lambda: a.add_tap(tapped.append, DIR_OUT)
+        )
+
+    af, _endf, _evf, simf = _pair_sim(True, on_build=attach)
+    # Every block still arrives, exactly once, in order.
+    assert [msg[0] for _, msg in af] == [("blk", i) for i in range(40)]
+    assert simf.metrics.get("net.fluid.defluidized").value == 1
+    # The tap saw the re-materialized bulk segments as real packets.
+    assert sum(1 for pkt in tapped if pkt.size > BLOCK) > 0
+
+
+def test_fluid_false_is_reference_path():
+    ap, endp, evp, simp = _pair_sim(False, config=SimConfig())
+    aoff, endoff, evoff, simoff = _pair_sim(False, config=SimConfig(fluid=False))
+    assert simp.fluid is None and simoff.fluid is None
+    assert ap == aoff
+    assert endp == endoff
+    assert evp == evoff
+
+
+def test_slow_path_env_selects_reference():
+    """``REPRO_SLOW_PATH=1`` must win over ``SimConfig(fluid=True)``:
+    the engine is never attached and the timeline is the reference
+    one. (Subprocess: the flag is read at import time.)"""
+    code = (
+        "import sys, tests.test_fluid as tf\n"
+        "ap, endp, evp, simp = tf._pair_sim(False, n=10)\n"
+        "af, endf, evf, simf = tf._pair_sim(True, n=10)\n"
+        "assert simf.fluid is None, 'engine attached under REPRO_SLOW_PATH'\n"
+        "assert ap == af and endp == endf\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ)
+    env["REPRO_SLOW_PATH"] = "1"
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + str(
+        pathlib.Path(__file__).resolve().parent.parent
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "ok" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# Partitioned kernel
+# ----------------------------------------------------------------------
+def _build_fluid_swarm(handle):
+    from repro.bittorrent.swarm import Swarm, SwarmConfig
+
+    cfg = SwarmConfig(
+        leechers=1, seeders=1, file_size=256 * 1024, stagger=1.0,
+        num_pnodes=1, seed=handle.seed,
+    )
+    swarm = Swarm(cfg, sim=handle.sim)
+    swarm.launch()
+    return swarm
+
+
+def _finish_fluid_swarm(handle, swarm):
+    fluid = handle.sim.fluid
+    return {
+        "completions": swarm.completion_times(),
+        "fluid_segments": (
+            handle.sim.metrics.get("net.fluid.segments").value
+            if fluid is not None
+            else 0
+        ),
+    }
+
+
+def test_fluid_partitions_byte_identical():
+    """``partitions`` stays a pure execution knob with the engine on:
+    per-cell FlowSchedulers are cell-local, so the merged document is
+    byte-identical across worker counts."""
+    specs = [
+        CellSpec(f"c{i}", _build_fluid_swarm, _finish_fluid_swarm)
+        for i in range(2)
+    ]
+    docs = []
+    for partitions in (1, 2):
+        merged = run_partitioned(
+            specs,
+            until=5000.0,
+            config=SimConfig(partitions=partitions, fluid=True),
+        )
+        doc = merged.as_dict()
+        # The engine must actually have engaged inside the cells.
+        assert all(
+            r["artifacts"]["fluid_segments"] > 0
+            for r in merged.per_cell.values()
+        ), merged.per_cell
+        docs.append(json.dumps(doc, sort_keys=True))
+    assert docs[0] == docs[1]
+
+
+# ----------------------------------------------------------------------
+# Reduced fig8 twin (the contended-tolerance gate, end to end)
+# ----------------------------------------------------------------------
+def test_fig8_reduced_twin_within_tolerance():
+    from repro.experiments.fig8_download_evolution import run_fig8
+
+    kw = dict(
+        leechers=2, seeders=1, file_size=512 * 1024, stagger=2.0,
+        num_pnodes=2, max_time=4000.0,
+    )
+    for seed in (0, 1, 2):
+        rp = run_fig8(seed=seed, **kw)
+        rf = run_fig8(seed=seed, fluid=True, **kw)
+        dev = abs(rf.last_completion - rp.last_completion) / rp.last_completion
+        assert dev <= TOLERANCE, (seed, rp.last_completion, rf.last_completion)

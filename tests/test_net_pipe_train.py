@@ -252,6 +252,76 @@ def test_reconfigure_shrinking_delay_mid_burst_identical():
     assert tags != sorted(tags)
 
 
+def test_reconfigure_flushes_live_train_accounting():
+    """Regression: ``reconfigure()`` on a pipe with a live train must
+    flush the coalesced followers back into real queue events *before*
+    the new parameters apply — with the deferred-delivery ledger
+    zeroed, the flushed entries keeping their reference identities, and
+    the train machinery re-arming for traffic sent after the change."""
+    sim = Simulator(seed=1, observe=True, fast=True)
+    pipe = DummynetPipe(sim, bandwidth=1e6, delay=0.05, name="p")
+    got = []
+    _burst(pipe, 20, deliver=lambda p: got.append((sim.now, p.payload)))
+    # The burst formed one live train: head is a queue event, the 19
+    # followers are deferred (pending work, not queue entries).
+    assert _trains(sim) == 1
+    assert sim._deferred_deliveries == 19
+    assert sim.pending == 20
+
+    pipe.reconfigure(2e6, 0.01)
+    # Flush: every follower is a real queue event again, nothing lost.
+    assert sim._deferred_deliveries == 0
+    assert sim.pending == 20
+
+    sim.run()
+    assert [tag for _, tag in got] == list(range(20))
+    assert sim.pending == 0 and sim._deferred_deliveries == 0
+
+    # The machinery re-arms: a post-reconfigure burst coalesces again,
+    # at the new rate.
+    before = _trains(sim)
+    _burst(pipe, 10, deliver=lambda p: got.append((sim.now, p.payload)))
+    assert sim._deferred_deliveries == 9
+    sim.run()
+    assert _trains(sim) == before + 1
+    assert [tag for _, tag in got[20:]] == list(range(10))
+    assert sim._deferred_deliveries == 0
+
+
+def test_reconfigure_mid_run_train_twin_identical():
+    """Reconfigure landing while a train is mid-flight *during* run():
+    flushed deliveries and post-change waves stay byte-identical to the
+    reference path, including the backlog the new bandwidth drains."""
+
+    def scenario(sim, log):
+        pipe = DummynetPipe(sim, bandwidth=1e6, delay=0.02, name="p")
+
+        def deliver(pkt):
+            log.append((sim.now, pkt.payload))
+
+        _burst(pipe, 30, deliver=deliver)
+        # 1.5 ms serialization each: the reconfigure lands after ~7
+        # transmissions with the train still live.
+        sim.schedule(0.011, pipe.reconfigure, 4e6, 0.005)
+        sim.schedule(
+            0.011,
+            lambda: log.append(
+                ("backlog", round(pipe._busy_until - sim.now, 9))
+            ),
+        )
+        # A second wave rides the reconfigured pipe.
+        sim.schedule(0.2, _burst, pipe, 10, 1500, deliver)
+        sim.run()
+
+    (fast_log, fast_sim), (slow_log, slow_sim) = _run_twins(scenario)
+    assert fast_log == slow_log
+    assert fast_sim.events_processed == slow_sim.events_processed
+    assert fast_sim.now == slow_sim.now
+    marker = next(e for e in fast_log if e[0] == "backlog")
+    assert marker[1] > 0  # the reconfigure really caught a backlog
+    assert _coalesced(fast_sim) > 0
+
+
 def test_pending_counts_coalesced_deliveries():
     sim = Simulator(seed=1, fast=True)
     slow = Simulator(seed=1, fast=False)
