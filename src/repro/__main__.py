@@ -22,6 +22,8 @@ Examples::
     python -m repro sweep fig6 --parallel 4 --out sweep.json
     python -m repro sweep fig6 --parallel 2 rule_count=0,10000,20000
     python -m repro sweep fig10 --replications 3 --resume --checkpoint ck.jsonl
+    python -m repro sweep fig10 --parallel 4 --telemetry run/telemetry.jsonl --listen 9099
+    python -m repro watch run/telemetry.jsonl
     python -m repro bench kernel ipfw --compare
     python -m repro bench --smoke --compare
 """
@@ -31,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import contextmanager
 from typing import Any, Dict, List
 
 from repro.errors import SimulationError
@@ -92,12 +95,78 @@ def _add_fluid_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _listen_spec(value: str) -> str:
+    """argparse type for --listen: reject malformed addresses at parse
+    time (clean exit-2 usage error instead of a traceback mid-run)."""
+    from repro.obs.telemetry import parse_listen
+
+    try:
+        parse_listen(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", nargs="?", const="telemetry.jsonl", default=None,
+        metavar="PATH",
+        help="stream live telemetry events to this JSONL flight log "
+        "(default telemetry.jsonl; follow it with 'python -m repro "
+        "watch PATH'); wall-clock-only — results are byte-identical "
+        "with or without it",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="[HOST:]PORT", type=_listen_spec,
+        help="serve live /health (JSON) and /metrics (Prometheus) on "
+        "this address while the run executes (implies telemetry)",
+    )
+
+
+@contextmanager
+def _telemetry_session(log: str | None, listen: str | None, pulse: bool = False):
+    """CLI-side telemetry lifecycle: hub + flight log + optional HTTP
+    endpoint + (for single runs) a main-process heartbeat. Yields the
+    :class:`~repro.obs.telemetry.TelemetryHub`, or ``None`` when both
+    knobs are off."""
+    if not log and listen is None:
+        yield None
+        return
+    from repro.obs import telemetry as obs_telemetry
+
+    hub = obs_telemetry.TelemetryHub(path=log or None)
+    hub.start_watchdog()
+    server = None
+    heartbeat = None
+    if listen is not None:
+        server = obs_telemetry.serve_http(hub, listen)
+        host, port = server.server_address[0], server.server_address[1]
+        print(
+            f"telemetry: serving http://{host}:{port}/health and /metrics",
+            file=sys.stderr,
+        )
+    if log:
+        print(f"telemetry: streaming events to {log}", file=sys.stderr)
+    if pulse:
+        heartbeat = obs_telemetry.Heartbeat(hub.emitter("main")).start()
+    try:
+        yield hub
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if server is not None:
+            server.shutdown()
+        hub.close()
+
+
 def run_one(
     experiment_id: str,
     overrides: Dict[str, Any],
     seed: int | None = None,
     partitions: int | None = None,
     fluid: bool | None = None,
+    telemetry_log: str | None = None,
+    listen: str | None = None,
 ) -> int:
     try:
         entry = get_experiment(experiment_id)
@@ -110,12 +179,31 @@ def run_one(
         seed = int(overrides.pop("seed"))
     elif seed is None:
         seed = 0
+    telemetry_on = bool(telemetry_log) or listen is not None
     request = RunRequest.make(
-        entry.id, overrides, seed=seed, partitions=partitions, fluid=fluid
+        entry.id, overrides, seed=seed, partitions=partitions, fluid=fluid,
+        telemetry=True if telemetry_on else None,
     )
     start = time.perf_counter()
     try:
-        result = entry.execute(request)
+        with _telemetry_session(telemetry_log, listen, pulse=True) as hub:
+            if hub is not None:
+                from repro.obs import telemetry as obs_telemetry
+
+                hub.ingest({
+                    "ts": time.time(), "kind": "run_started",
+                    "source": "main", "experiment": entry.id, "points": 1,
+                })
+                with obs_telemetry.use_emitter(hub.emitter("main")):
+                    result = entry.execute(request)
+                hub.ingest({
+                    "ts": time.time(), "kind": "run_finished", "source": "main",
+                    "completed": 1 if result.is_ok else 0,
+                    "failed": 0 if result.is_ok else 1,
+                    "wall_seconds": time.perf_counter() - start,
+                })
+            else:
+                result = entry.execute(request)
     except SimulationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -154,6 +242,7 @@ def run_sweep(argv: List[str]) -> int:
     _add_seed_arg(parser)
     _add_partitions_arg(parser)
     _add_fluid_arg(parser)
+    _add_telemetry_args(parser)
     parser.add_argument(
         "--replications", type=int, default=1,
         help="replications per grid point (derived child seeds)",
@@ -204,6 +293,7 @@ def run_sweep(argv: List[str]) -> int:
             base[key] = _parse_overrides([pair])[key]
             grid.pop(key, None)
 
+    telemetry_on = bool(args.telemetry) or args.listen is not None
     plan = ExecutionPlan.build(
         entry.id,
         grid=grid,
@@ -212,21 +302,39 @@ def run_sweep(argv: List[str]) -> int:
         base_seed=args.seed if args.seed is not None else 0,
         partitions=args.partitions,
         fluid=args.fluid,
+        telemetry=True if telemetry_on else None,
     )
     print(
         f"== sweep {entry.id}: {len(plan)} points "
         f"({args.parallel or 'inline'} workers) ==",
         file=sys.stderr,
     )
-    outcome = execute_plan(
-        plan,
-        parallel=args.parallel,
-        runner=_sweep_point_runner,
-        timeout=args.timeout,
-        max_attempts=args.max_attempts,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-    )
+    with _telemetry_session(args.telemetry, args.listen, pulse=True) as hub:
+        outcome = execute_plan(
+            plan,
+            parallel=args.parallel,
+            runner=_sweep_point_runner,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            telemetry=hub,
+        )
+    if args.resume and outcome.prior_failures:
+        keys = sorted({
+            str(f.get("key")) for f in outcome.prior_failures
+        })
+        print(
+            f"[resume: {len(outcome.prior_failures)} failure/retry records "
+            f"for {len(keys)} point(s) in the previous run]",
+            file=sys.stderr,
+        )
+        for failure in outcome.prior_failures:
+            print(
+                f"  prior {failure.get('kind')}: {failure.get('key')} "
+                f"(attempt {failure.get('attempt')}): {failure.get('error')}",
+                file=sys.stderr,
+            )
     deterministic = not args.stats
     if args.out is not None:
         write_sweep_json(args.out, outcome, deterministic_only=deterministic)
@@ -539,6 +647,7 @@ def _cmd_run(argv: List[str]) -> int:
     _add_seed_arg(parser)
     _add_partitions_arg(parser)
     _add_fluid_arg(parser)
+    _add_telemetry_args(parser)
     args = parser.parse_intermixed_args(argv)
     return run_one(
         args.experiment,
@@ -546,6 +655,8 @@ def _cmd_run(argv: List[str]) -> int:
         seed=args.seed,
         partitions=args.partitions,
         fluid=args.fluid,
+        telemetry_log=args.telemetry,
+        listen=args.listen,
     )
 
 
@@ -584,6 +695,52 @@ def _cmd_list(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_watch(argv: List[str]) -> int:
+    """``python -m repro watch <telemetry.jsonl|dir>``: follow a run's
+    telemetry flight log, rendering the rolling health view (points
+    done/failed, per-worker sim-time/events/RSS, stall verdicts) until
+    the run finishes."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro watch",
+        description="Follow a run's telemetry log as a live health view.",
+    )
+    parser.add_argument(
+        "target",
+        help="telemetry.jsonl path (or a directory containing one), as "
+        "passed to --telemetry on the run being watched",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit",
+    )
+    parser.add_argument(
+        "--stall-after", type=float, default=None,
+        help="flag a worker as stalled after this many wall seconds "
+        "without progress (default 30)",
+    )
+    parser.add_argument(
+        "--max-wait", type=float, default=None,
+        help="give up following after this many wall seconds",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs import telemetry as obs_telemetry
+
+    return obs_telemetry.watch(
+        args.target,
+        interval=args.interval,
+        follow=not args.once,
+        stall_after=(
+            args.stall_after if args.stall_after is not None
+            else obs_telemetry.STALL_AFTER
+        ),
+        max_wait=args.max_wait,
+    )
+
+
 def _cmd_metrics(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro metrics",
@@ -607,6 +764,7 @@ _COMMANDS = {
     "trace": run_trace,
     "bench": run_bench,
     "metrics": _cmd_metrics,
+    "watch": _cmd_watch,
 }
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.manifest import RunManifest
@@ -201,6 +202,15 @@ def _prom_name(name: str) -> str:
     return f"repro_{sanitized}"
 
 
+def _prom_counter_name(name: str) -> str:
+    """Canonical counter family name: exactly one ``_total`` suffix
+    (``net.ipfw.rules_scanned_total`` must not become ``..._total_total``)."""
+    prom = _prom_name(name)
+    if prom.endswith("_total"):
+        prom = prom[: -len("_total")]
+    return f"{prom}_total"
+
+
 def _prom_num(value: float) -> str:
     """Prometheus float rendering (repr keeps full precision; ints stay ints)."""
     if isinstance(value, bool):
@@ -215,27 +225,40 @@ def metrics_prom(
 ) -> str:
     """Prometheus text exposition (version 0.0.4) of a metrics snapshot.
 
-    Counters become ``<name>_total``; gauges emit their value plus a
+    Each family gets ``# HELP``/``# TYPE`` header lines and canonical
+    unit suffixes (registry names already carry ``_seconds``/``_bytes``
+    where units apply; counters gain exactly one ``_total``), so real
+    Prometheus scrapers ingest the output cleanly —
+    :func:`validate_prom_exposition` is the machine check. Counters
+    become ``<name>_total``; gauges emit their value plus a
     ``<name>_peak`` companion; histograms emit cumulative ``_bucket``
     series with ``le`` labels, ``_sum`` and ``_count``. An optional
     manifest becomes a ``repro_run_info`` info-style gauge. Metric
     names are emitted sorted, so output bytes are deterministic.
     """
     lines: List[str] = []
+
+    def header(prom: str, kind: str, dotted: str, note: str = "") -> None:
+        suffix = f" {note}" if note else ""
+        lines.append(f"# HELP {prom} repro {kind} {dotted}{suffix}")
+        lines.append(f"# TYPE {prom} {kind}")
+
     for name in sorted(snapshot):
         metric = snapshot[name]
         kind = metric["kind"]
-        prom = _prom_name(name)
         if kind == "counter":
-            lines.append(f"# TYPE {prom}_total counter")
-            lines.append(f"{prom}_total {_prom_num(metric['value'])}")
-        elif kind == "gauge":
-            lines.append(f"# TYPE {prom} gauge")
+            prom = _prom_counter_name(name)
+            header(prom, "counter", name)
             lines.append(f"{prom} {_prom_num(metric['value'])}")
-            lines.append(f"# TYPE {prom}_peak gauge")
+        elif kind == "gauge":
+            prom = _prom_name(name)
+            header(prom, "gauge", name)
+            lines.append(f"{prom} {_prom_num(metric['value'])}")
+            header(f"{prom}_peak", "gauge", name, note="(peak)")
             lines.append(f"{prom}_peak {_prom_num(metric['peak'])}")
         elif kind == "histogram":
-            lines.append(f"# TYPE {prom} histogram")
+            prom = _prom_name(name)
+            header(prom, "histogram", name)
             cumulative = 0
             edges = list(metric["edges"])  # type: ignore[arg-type]
             counts = list(metric["counts"])  # type: ignore[arg-type]
@@ -252,9 +275,131 @@ def metrics_prom(
             for k, v in sorted(info.items())
             if isinstance(v, (str, int, float, bool))
         )
+        lines.append("# HELP repro_run_info repro run manifest (labels carry provenance)")
         lines.append("# TYPE repro_run_info gauge")
         lines.append(f"repro_run_info{{{labels}}} 1")
     return "\n".join(lines) + "\n"
+
+
+#: Prometheus metric-name grammar (exposition format 0.0.4).
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: [0-9]+)?$"
+)
+def validate_prom_exposition(text: str) -> List[str]:
+    """Machine check of a Prometheus text exposition. Returns problems
+    (empty = clean). Enforced properties:
+
+    * the document ends with a newline and every sample line parses;
+    * every sample's family has ``# HELP`` and ``# TYPE`` lines *before*
+      its first sample, and at most one of each;
+    * ``# TYPE`` values are legal; counter families end ``_total`` with
+      no doubled suffix, and unit suffixes come before ``_total``;
+    * histogram families emit ordered, cumulative (non-decreasing)
+      ``_bucket`` series ending at ``le="+Inf"`` plus ``_sum``/``_count``;
+    * sample values parse as finite-or-+Inf floats.
+    """
+    problems: List[str] = []
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    helped: Dict[str, int] = {}
+    typed: Dict[str, str] = {}
+    seen_samples: Dict[str, bool] = {}
+    hist_state: Dict[str, Tuple[float, float]] = {}  # family -> (last le, last cum)
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and typed.get(base) == "histogram":
+                return base
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                problems.append(f"line {lineno}: HELP without text")
+                continue
+            name = parts[2]
+            if name in helped:
+                problems.append(f"line {lineno}: duplicate HELP for {name}")
+            if name in seen_samples:
+                problems.append(f"line {lineno}: HELP for {name} after its samples")
+            helped[name] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: illegal type {kind!r}")
+            if name in typed:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name in seen_samples:
+                problems.append(f"line {lineno}: TYPE for {name} after its samples")
+            typed[name] = kind
+            if kind == "counter":
+                if not name.endswith("_total"):
+                    problems.append(f"counter {name} must end with _total")
+                elif name.endswith("_total_total"):
+                    problems.append(f"counter {name} doubles the _total suffix")
+            for unit in ("seconds", "bytes"):
+                base = name[: -len("_total")] if name.endswith("_total") else name
+                if f"_{unit}_" in base:
+                    problems.append(
+                        f"{name}: unit suffix _{unit} must terminate the base name"
+                    )
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        if not _PROM_NAME_RE.match(name):
+            problems.append(f"line {lineno}: illegal metric name {name!r}")
+        value_text = match.group("value")
+        try:
+            value = float(value_text)
+        except ValueError:
+            problems.append(f"line {lineno}: unparseable value {value_text!r}")
+            continue
+        if value != value:
+            problems.append(f"line {lineno}: NaN sample for {name}")
+        family = family_of(name)
+        seen_samples[family] = True
+        if family not in typed:
+            problems.append(f"line {lineno}: sample {name} without a TYPE line")
+        if family not in helped:
+            problems.append(f"line {lineno}: sample {name} without a HELP line")
+        if typed.get(family) == "histogram" and name.endswith("_bucket"):
+            labels = match.group("labels") or ""
+            le = None
+            for part in labels.split(","):
+                key, _, raw = part.partition("=")
+                if key.strip() == "le":
+                    raw = raw.strip().strip('"')
+                    le = float("inf") if raw == "+Inf" else float(raw)
+            if le is None:
+                problems.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            last_le, last_cum = hist_state.get(family, (float("-inf"), float("-inf")))
+            if le <= last_le:
+                problems.append(f"{family}: bucket le={le} out of order")
+            if value < last_cum:
+                problems.append(f"{family}: bucket counts are not cumulative")
+            hist_state[family] = (le, max(value, last_cum))
+    for family, (last_le, _cum) in hist_state.items():
+        if last_le != float("inf"):
+            problems.append(f'{family}: histogram missing le="+Inf" bucket')
+    return problems
 
 
 def write_metrics_prom(

@@ -16,9 +16,13 @@ One deterministic measurement substrate for the whole platform:
   deterministic per-metric series;
 * :mod:`repro.obs.chrometrace` — Chrome Trace Event / Perfetto export
   merging flights, spans, trace records and time-series;
+* :mod:`repro.obs.telemetry` — the live telemetry bus
+  (:class:`TelemetryHub`, heartbeats, stall watchdog, ``repro watch``
+  and the opt-in HTTP endpoint): wall-clock-only streaming of health
+  out of *running* sweeps and partition cells;
 * ``NULL_REGISTRY`` / ``NULL_TRACER`` / ``NULL_FLIGHT`` /
-  ``NULL_PROFILER`` — shared no-op instruments for zero-overhead
-  disabled mode (``Simulator(..., observe=False)``).
+  ``NULL_PROFILER`` / ``NULL_EMITTER`` — shared no-op instruments for
+  zero-overhead disabled mode (``Simulator(..., observe=False)``).
 
 The rule that makes this trustworthy: anything recorded from
 simulation state is deterministic and appears in
@@ -61,22 +65,35 @@ from repro.obs.profile import (
     categorize,
 )
 from repro.obs.span import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.telemetry import (
+    CallbackEmitter,
+    Heartbeat,
+    NULL_EMITTER,
+    NullEmitter,
+    TelemetryHub,
+    serve_http,
+    watch,
+)
 from repro.obs.timeseries import TimeSeriesSampler
 
 __all__ = [
     "BYTES_EDGES",
+    "CallbackEmitter",
     "Counter",
     "DEFAULT_EDGES",
     "EventLoopProfiler",
     "FlightRecorder",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "Hop",
     "MetricsRegistry",
+    "NULL_EMITTER",
     "NULL_FLIGHT",
     "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullEmitter",
     "NullEventLoopProfiler",
     "NullFlightRecorder",
     "NullMetricsRegistry",
@@ -85,10 +102,13 @@ __all__ = [
     "RunManifest",
     "Snapshot",
     "Span",
+    "TelemetryHub",
     "TimeSeriesSampler",
     "TraceLayout",
     "Tracer",
     "categorize",
+    "serve_http",
+    "watch",
     "chrome_trace_document",
     "chrome_trace_json",
     "diff_snapshots",

@@ -27,11 +27,17 @@ CLI: ``python -m repro sweep <id> --parallel N --resume``.
 
 from repro.experiments.api import RunRequest, RunResult
 from repro.runtime.aggregate import SweepOutcome
-from repro.runtime.checkpoint import CheckpointWriter, load_checkpoint
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    load_checkpoint_events,
+)
 from repro.runtime.executor import (
     ATTEMPT_ENV,
+    CommandWorker,
     SweepExecutor,
     execute_plan,
+    receive_all,
     registry_runner,
 )
 from repro.runtime.plan import ExecutionPlan
@@ -39,6 +45,7 @@ from repro.runtime.plan import ExecutionPlan
 __all__ = [
     "ATTEMPT_ENV",
     "CheckpointWriter",
+    "CommandWorker",
     "ExecutionPlan",
     "RunRequest",
     "RunResult",
@@ -46,5 +53,7 @@ __all__ = [
     "SweepOutcome",
     "execute_plan",
     "load_checkpoint",
+    "load_checkpoint_events",
+    "receive_all",
     "registry_runner",
 ]

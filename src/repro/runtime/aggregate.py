@@ -40,6 +40,11 @@ class SweepOutcome:
     metrics: Snapshot = field(default_factory=dict)
     wall_time_seconds: Optional[float] = None
     resumed_points: int = 0
+    #: Failure/retry history recovered from the checkpoint on
+    #: ``--resume`` (``{"key", "kind", "error", "attempt"}`` docs, no
+    #: wall timestamps). Excluded from the deterministic document: it
+    #: describes a *previous* process, not this run's results.
+    prior_failures: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def completed(self) -> List[RunResult]:
@@ -115,6 +120,7 @@ class SweepOutcome:
         if not deterministic_only:
             doc["runtime_metrics"] = self.metrics
             doc["resumed_points"] = self.resumed_points
+            doc["prior_failures"] = list(self.prior_failures)
         return doc
 
     def json(self, deterministic_only: bool = True, indent: Optional[int] = 2) -> str:

@@ -12,13 +12,24 @@ the stored results — no finished work is redone. Keys are the stable
 by a ``--parallel 8`` run resumes correctly under ``--parallel 1`` and
 vice versa. Unparseable trailing lines (a crash mid-write) are
 ignored, which makes the format append-crash-safe.
+
+The executor also interleaves per-point *lifecycle event* lines::
+
+    {"event": {"kind": "point_retried", "point": "<key>", ...}}
+
+Events carry wall-clock context (what crashed, how often a point was
+retried) that the result lines deliberately flatten away. They are
+invisible to :func:`load_checkpoint` (no ``"key"`` field → skipped),
+so old checkpoints and new ones resume identically; a ``--resume``
+run reads them back via :func:`load_checkpoint_events` to report what
+previously failed instead of silently swallowing the history.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Optional, TextIO, Union
+from typing import Any, Dict, List, Mapping, Optional, TextIO, Union
 
 from repro.experiments.api import RunResult
 
@@ -42,6 +53,25 @@ class CheckpointWriter:
             sort_keys=True,
             separators=(",", ":"),
         )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def event(self, doc: Mapping[str, Any]) -> None:
+        """Append one lifecycle-event line (``{"event": {...}}``).
+
+        Best-effort durability for *observability* data: serialization
+        failures are swallowed so a weird event payload can never take
+        down the sweep it is describing.
+        """
+        if self._fh is None:
+            self._fh = self.path.open("a")
+        try:
+            line = json.dumps(
+                {"event": dict(doc)}, sort_keys=True, separators=(",", ":")
+            )
+        except (TypeError, ValueError):
+            return
         self._fh.write(line + "\n")
         self._fh.flush()
         self.lines_written += 1
@@ -78,5 +108,31 @@ def load_checkpoint(path: PathLike) -> Dict[str, RunResult]:
                 doc = json.loads(line)
                 done[doc["key"]] = RunResult.from_dict(doc["result"])
             except (ValueError, KeyError, TypeError):
-                continue  # torn write — ignore
+                continue  # torn write or event line — ignore
     return done
+
+
+def load_checkpoint_events(path: PathLike) -> List[Dict[str, Any]]:
+    """Load the lifecycle-event lines from a checkpoint file, in order.
+
+    Missing file → empty list; torn writes and result lines are
+    skipped. Used by ``--resume`` to report what crashed or was
+    retried in the interrupted run.
+    """
+    path = pathlib.Path(path)
+    events: List[Dict[str, Any]] = []
+    if not path.exists():
+        return events
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn write — ignore
+            event = doc.get("event") if isinstance(doc, dict) else None
+            if isinstance(event, dict):
+                events.append(event)
+    return events

@@ -26,22 +26,39 @@ custom runners work, module import cost is not repaid per point) and
 the pickling path. The engine instruments itself through
 :mod:`repro.obs` metrics (``runtime.points_*``,
 ``runtime.workers_active``).
+
+Live telemetry: pass a :class:`~repro.obs.telemetry.TelemetryHub` and
+workers interleave wall-clock-only ``("telemetry", event)`` messages
+(heartbeats, per-point lifecycle) with their protocol replies on the
+same pipes; the parent folds them into the hub as they arrive. The
+per-point ``started/finished/retried/crashed/failed`` records are also
+appended to the checkpoint JSONL (telemetry or not), which is how a
+``--resume`` run reports what previously failed. None of this touches
+the deterministic path — results and aggregates are byte-identical
+with telemetry on or off.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.experiments.api import RunRequest, RunResult
+from repro.obs import telemetry as obs_telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryHub
 from repro.runtime.aggregate import SweepOutcome
-from repro.runtime.checkpoint import CheckpointWriter, load_checkpoint
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    load_checkpoint_events,
+)
 from repro.runtime.plan import ExecutionPlan
 
 #: Environment variable exposing the current attempt number (1-based)
@@ -59,15 +76,67 @@ def registry_runner(request: RunRequest) -> RunResult:
     return get_experiment(request.experiment_id).execute(request)
 
 
-def _worker_main(conn: Connection, runner: Runner, request: RunRequest, attempt: int) -> None:
-    """Child-process entry point: run one point, ship the result back."""
+def _worker_main(
+    conn: Connection,
+    runner: Runner,
+    request: RunRequest,
+    attempt: int,
+    telemetry_on: bool = False,
+    heartbeat_interval: Optional[float] = None,
+) -> None:
+    """Child-process entry point: run one point, ship the result back.
+
+    With ``telemetry_on`` the worker installs a pipe emitter as the
+    process-ambient telemetry emitter and starts a heartbeat thread;
+    both share ``conn`` with the final reply, serialized by a lock so
+    a heartbeat can never tear a result message.
+    """
     os.environ[ATTEMPT_ENV] = str(attempt)
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    # A forked child inherits the parent's ambient emitter and probe
+    # table — neither may leak into this process's stream.
+    obs_telemetry.clear_probes()
+    obs_telemetry.set_emitter(None)
+    heartbeat: Optional[obs_telemetry.Heartbeat] = None
+    if telemetry_on:
+        emitter = obs_telemetry.pipe_emitter(
+            conn,
+            send_lock,
+            f"sweep/pid{os.getpid()}",
+            static={"point": request.key},
+        )
+        obs_telemetry.set_emitter(emitter)
+        heartbeat = obs_telemetry.Heartbeat(
+            emitter,
+            interval=(
+                heartbeat_interval
+                if heartbeat_interval is not None
+                else obs_telemetry.HEARTBEAT_INTERVAL
+            ),
+        ).start()
+
+    def stop_heartbeat() -> None:
+        nonlocal heartbeat
+        if heartbeat is not None:
+            try:
+                heartbeat.stop()
+            except Exception:
+                pass
+            heartbeat = None
+
     try:
         result = runner(request)
-        conn.send(("ok", result.as_dict()))
+        stop_heartbeat()
+        send(("ok", result.as_dict()))
     except BaseException as exc:  # noqa: BLE001 — must never escape silently
+        stop_heartbeat()
         try:
-            conn.send(
+            send(
                 (
                     "error",
                     {
@@ -79,31 +148,68 @@ def _worker_main(conn: Connection, runner: Runner, request: RunRequest, attempt:
         except Exception:  # conn already broken — parent sees a crash
             pass
     finally:
+        stop_heartbeat()
         try:
             conn.close()
         except Exception:
             pass
 
 
-def _command_worker_main(conn: Connection, handler_factory, init_payload) -> None:
+def _command_worker_main(
+    conn: Connection,
+    handler_factory,
+    init_payload,
+    telemetry_on: bool = False,
+    telemetry_source: Optional[str] = None,
+    heartbeat_interval: Optional[float] = None,
+) -> None:
     """Child entry point for a :class:`CommandWorker`.
 
     Builds the handler once, then serves ``(command, payload)`` requests
     until ``("close", None)`` — the long-lived dual of the one-shot
     :func:`_worker_main` (a partition worker holds live simulators
     across barrier windows, so it cannot be respawned per request).
+
+    With ``telemetry_on`` the ambient emitter and heartbeat thread are
+    installed *before* ``handler_factory`` runs, so the factory (e.g.
+    the partition driver building its cells) can register progress
+    probes that the heartbeats will sample.
     """
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    obs_telemetry.clear_probes()  # fork inherits the parent's probe table
+    obs_telemetry.set_emitter(None)
+    heartbeat: Optional[obs_telemetry.Heartbeat] = None
+    if telemetry_on:
+        emitter = obs_telemetry.pipe_emitter(
+            conn,
+            send_lock,
+            telemetry_source or f"cells/pid{os.getpid()}",
+        )
+        obs_telemetry.set_emitter(emitter)
+        heartbeat = obs_telemetry.Heartbeat(
+            emitter,
+            interval=(
+                heartbeat_interval
+                if heartbeat_interval is not None
+                else obs_telemetry.HEARTBEAT_INTERVAL
+            ),
+        ).start()
     try:
         handler = handler_factory(init_payload)
-        conn.send(("ready", None))
+        send(("ready", None))
         while True:
             command, payload = conn.recv()
             if command == "close":
                 break
-            conn.send(("ok", handler(command, payload)))
+            send(("ok", handler(command, payload)))
     except BaseException as exc:  # noqa: BLE001 — must never escape silently
         try:
-            conn.send(
+            send(
                 (
                     "error",
                     {
@@ -115,6 +221,11 @@ def _command_worker_main(conn: Connection, handler_factory, init_payload) -> Non
         except Exception:
             pass
     finally:
+        if heartbeat is not None:
+            try:
+                heartbeat.stop()
+            except Exception:
+                pass
         try:
             conn.close()
         except Exception:
@@ -139,6 +250,12 @@ class CommandWorker:
     returns a ``handler(command, payload)`` callable; :meth:`request`
     round-trips one command. A child that raises ships the traceback
     back and every subsequent call raises :class:`WorkerCrashed`.
+
+    With ``telemetry=True`` the child streams heartbeat events on the
+    same pipe; :meth:`_recv` transparently skips them past the
+    request/response protocol, handing each one to ``on_telemetry``
+    (typically the ambient emitter's ``forward``, relaying cell events
+    up to whatever hub owns this process).
     """
 
     def __init__(
@@ -147,6 +264,9 @@ class CommandWorker:
         init_payload=None,
         mp_context: Optional[str] = None,
         name: str = "repro-worker",
+        telemetry: bool = False,
+        on_telemetry: Optional[Callable[[Dict[str, Any]], None]] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if mp_context is None:
             mp_context = (
@@ -154,9 +274,17 @@ class CommandWorker:
             )
         ctx = multiprocessing.get_context(mp_context)
         self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._on_telemetry = on_telemetry
         self._process = ctx.Process(
             target=_command_worker_main,
-            args=(child_conn, handler_factory, init_payload),
+            args=(
+                child_conn,
+                handler_factory,
+                init_payload,
+                telemetry,
+                name,
+                heartbeat_interval,
+            ),
             daemon=True,
             name=name,
         )
@@ -166,22 +294,26 @@ class CommandWorker:
         self._recv()  # wait for ("ready", None) / surface build failures
 
     def _recv(self):
-        try:
-            kind, payload = self._conn.recv()
-        except (EOFError, OSError):
-            self._dead = True
-            self._process.join(timeout=5.0)
-            raise WorkerCrashed(
-                f"{self._process.name} crashed "
-                f"(exitcode {self._process.exitcode})"
-            ) from None
-        if kind == "error":
-            self._dead = True
-            raise WorkerCrashed(
-                f"{self._process.name} failed: {payload['error']}\n"
-                f"{payload['traceback']}"
-            )
-        return payload
+        while True:
+            try:
+                kind, payload = self._conn.recv()
+            except (EOFError, OSError):
+                self._dead = True
+                self._process.join(timeout=5.0)
+                raise WorkerCrashed(
+                    f"{self._process.name} crashed "
+                    f"(exitcode {self._process.exitcode})"
+                ) from None
+            if kind == "telemetry":
+                self._handle_telemetry(payload)
+                continue
+            if kind == "error":
+                self._dead = True
+                raise WorkerCrashed(
+                    f"{self._process.name} failed: {payload['error']}\n"
+                    f"{payload['traceback']}"
+                )
+            return payload
 
     def send(self, command: str, payload=None) -> None:
         """Dispatch a command without waiting (pair with :meth:`receive`).
@@ -202,6 +334,13 @@ class CommandWorker:
         self.send(command, payload)
         return self._recv()
 
+    def _handle_telemetry(self, payload) -> None:
+        if self._on_telemetry is not None:
+            try:
+                self._on_telemetry(payload)
+            except Exception:
+                pass
+
     def close(self) -> None:
         """Shut the child down (idempotent)."""
         if not self._dead:
@@ -218,6 +357,47 @@ class CommandWorker:
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.kill()
             self._process.join(timeout=5.0)
+
+
+def receive_all(workers: List["CommandWorker"]) -> List[Any]:
+    """Collect one reply from every worker, processing messages in
+    *arrival* order across all their pipes.
+
+    The sequential alternative (``[w.receive() for w in workers]``)
+    blocks on worker 0's reply while workers 1..N's telemetry queues
+    unseen — a long barrier window would go dark. Multiplexing with
+    :func:`multiprocessing.connection.wait` keeps every stream live.
+    Replies are returned in worker order; a crash or shipped error
+    raises :class:`WorkerCrashed` exactly as :meth:`CommandWorker.
+    receive` would.
+    """
+    replies: Dict[int, Any] = {}
+    by_conn = {worker._conn: worker for worker in workers}
+    while len(replies) < len(workers):
+        for conn in connection_wait(
+            [w._conn for w in workers if id(w) not in replies]
+        ):
+            worker = by_conn[conn]
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                worker._dead = True
+                worker._process.join(timeout=5.0)
+                raise WorkerCrashed(
+                    f"{worker._process.name} crashed "
+                    f"(exitcode {worker._process.exitcode})"
+                ) from None
+            if kind == "telemetry":
+                worker._handle_telemetry(payload)
+            elif kind == "error":
+                worker._dead = True
+                raise WorkerCrashed(
+                    f"{worker._process.name} failed: {payload['error']}\n"
+                    f"{payload['traceback']}"
+                )
+            else:
+                replies[id(worker)] = payload
+    return [replies[id(worker)] for worker in workers]
 
 
 @dataclass
@@ -272,6 +452,8 @@ class SweepExecutor:
         resume: bool = False,
         mp_context: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[TelemetryHub] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if parallel < 0:
             raise ValueError("parallel must be >= 0 (0 = inline)")
@@ -285,6 +467,8 @@ class SweepExecutor:
         self.retry_backoff = retry_backoff
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        self.telemetry = telemetry
+        self.heartbeat_interval = heartbeat_interval
         if mp_context is None:
             mp_context = (
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -299,11 +483,53 @@ class SweepExecutor:
         self._m_resumed = m.counter("runtime.points_resumed")
         self._m_workers = m.gauge("runtime.workers_active")
 
+    # -- telemetry seams ------------------------------------------------
+    def _emit(self, kind: str, **fields: Any) -> None:
+        """Hub-only lifecycle event (no checkpoint line)."""
+        if self.telemetry is not None:
+            self.telemetry.ingest(
+                {"ts": time.time(), "kind": kind, "source": "executor", **fields}
+            )
+
+    def _point_event(
+        self,
+        writer: Optional[CheckpointWriter],
+        kind: str,
+        key: str,
+        **fields: Any,
+    ) -> None:
+        """Per-point lifecycle record: into the hub (when streaming)
+        AND the checkpoint JSONL (always — resume reads it back)."""
+        doc = {"ts": time.time(), "kind": kind, "source": "executor",
+               "key": key, **fields}
+        if self.telemetry is not None:
+            self.telemetry.ingest(doc)
+        if writer is not None:
+            writer.event(doc)
+
+    def _prior_failures(self) -> List[Dict[str, Any]]:
+        """Failure/retry history from the checkpoint being resumed
+        (timestamp-free, so reports stay deterministic)."""
+        failures: List[Dict[str, Any]] = []
+        for event in load_checkpoint_events(self.checkpoint_path):
+            if event.get("kind") not in (
+                "point_crashed", "point_retried", "point_failed"
+            ):
+                continue
+            failures.append({
+                "key": event.get("key"),
+                "kind": event.get("kind"),
+                "error": event.get("error"),
+                "attempt": event.get("attempt"),
+            })
+        return failures
+
     # ------------------------------------------------------------------
     def run(self) -> SweepOutcome:
         started = time.perf_counter()
         book = _Book()
         resumed = 0
+        prior_failures: List[Dict[str, Any]] = []
 
         if self.checkpoint_path is not None and self.resume:
             done = load_checkpoint(self.checkpoint_path)
@@ -315,10 +541,26 @@ class SweepExecutor:
                     book.results[point.key] = stored
                     resumed += 1
             self._m_resumed.inc(resumed)
+            prior_failures = self._prior_failures()
 
         for point in self.plan:
             if point.key not in book.results:
                 book.pending.append(_Pending(point))
+
+        self._emit(
+            "run_started",
+            experiment=self.plan.experiment_id,
+            points=len(self.plan),
+            pending=len(book.pending),
+            resumed=resumed,
+            parallel=self.parallel,
+        )
+        if prior_failures:
+            self._emit(
+                "resume_report",
+                failures=prior_failures,
+                resumed=resumed,
+            )
 
         writer: Optional[CheckpointWriter] = None
         if self.checkpoint_path is not None:
@@ -336,40 +578,70 @@ class SweepExecutor:
                 active.reap()
 
         ordered = [book.results[p.key] for p in self.plan]
-        return SweepOutcome(
+        outcome = SweepOutcome(
             plan=self.plan,
             results=ordered,
             metrics=self.metrics.snapshot(),
             wall_time_seconds=time.perf_counter() - started,
             resumed_points=resumed,
+            prior_failures=prior_failures,
         )
+        self._emit(
+            "run_finished",
+            completed=len(outcome.completed),
+            failed=len(outcome.failed),
+            wall_seconds=outcome.wall_time_seconds,
+        )
+        return outcome
 
     # -- inline (parallel=0) -------------------------------------------
     def _run_inline(self, book: _Book, writer: Optional[CheckpointWriter]) -> None:
         saved = os.environ.get(ATTEMPT_ENV)
+        # Inline points run in *this* process: feed the hub directly
+        # through the ambient emitter so partition drivers (and any
+        # other deep layer) stream exactly as they would from a worker.
+        emitter = (
+            self.telemetry.emitter("inline")
+            if self.telemetry is not None
+            else obs_telemetry.NULL_EMITTER
+        )
         try:
-            for item in book.pending:
-                request = item.request
-                last_error = "never attempted"
-                for attempt in range(1, self.max_attempts + 1):
-                    os.environ[ATTEMPT_ENV] = str(attempt)
-                    try:
-                        result = self.runner(request).with_attempts(attempt)
-                    except Exception as exc:  # noqa: BLE001
-                        last_error = f"{type(exc).__name__}: {exc}"
-                        if attempt < self.max_attempts:
-                            self._m_retried.inc()
-                            time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-                        continue
-                    self._record(book, writer, result)
-                    break
-                else:
-                    self._record(
-                        book,
-                        writer,
-                        RunResult.failed(request, last_error, attempts=self.max_attempts),
-                    )
-            book.pending.clear()
+            with obs_telemetry.use_emitter(emitter):
+                for item in book.pending:
+                    request = item.request
+                    last_error = "never attempted"
+                    for attempt in range(1, self.max_attempts + 1):
+                        os.environ[ATTEMPT_ENV] = str(attempt)
+                        self._point_event(
+                            writer, "point_started", request.key, attempt=attempt
+                        )
+                        try:
+                            result = self.runner(request).with_attempts(attempt)
+                        except Exception as exc:  # noqa: BLE001
+                            last_error = f"{type(exc).__name__}: {exc}"
+                            self._point_event(
+                                writer, "point_crashed", request.key,
+                                attempt=attempt, error=last_error,
+                            )
+                            if attempt < self.max_attempts:
+                                self._m_retried.inc()
+                                self._point_event(
+                                    writer, "point_retried", request.key,
+                                    attempt=attempt, error=last_error,
+                                )
+                                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                            continue
+                        self._record(book, writer, result)
+                        break
+                    else:
+                        self._record(
+                            book,
+                            writer,
+                            RunResult.failed(
+                                request, last_error, attempts=self.max_attempts
+                            ),
+                        )
+                book.pending.clear()
         finally:
             if saved is None:
                 os.environ.pop(ATTEMPT_ENV, None)
@@ -377,11 +649,21 @@ class SweepExecutor:
                 os.environ[ATTEMPT_ENV] = saved
 
     # -- process pool ---------------------------------------------------
-    def _launch(self, book: _Book, item: _Pending) -> None:
+    def _launch(
+        self, book: _Book, item: _Pending, writer: Optional[CheckpointWriter]
+    ) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        telemetry_on = self.telemetry is not None or bool(item.request.telemetry)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.runner, item.request, item.attempt),
+            args=(
+                child_conn,
+                self.runner,
+                item.request,
+                item.attempt,
+                telemetry_on,
+                self.heartbeat_interval,
+            ),
             daemon=True,
             name=f"repro-sweep-{item.request.replication}",
         )
@@ -394,6 +676,9 @@ class SweepExecutor:
             _Active(item.request, item.attempt, process, parent_conn, deadline)
         )
         self._m_workers.inc()
+        self._point_event(
+            writer, "point_started", item.request.key, attempt=item.attempt
+        )
 
     def _run_pool(self, book: _Book, writer: Optional[CheckpointWriter]) -> None:
         while book.pending or book.active:
@@ -404,7 +689,7 @@ class SweepExecutor:
             ][: max(0, self.parallel - len(book.active))]
             for item in launchable:
                 book.pending.remove(item)
-                self._launch(book, item)
+                self._launch(book, item, writer)
 
             if not book.active:
                 # Everything left is backoff-gated; sleep until the gate.
@@ -427,12 +712,25 @@ class SweepExecutor:
             for active in book.active:
                 if active.conn in ready:
                     try:
-                        kind, payload = active.conn.recv()
+                        # Drain interleaved telemetry; the first
+                        # non-telemetry message (if any is ready) is
+                        # the worker's final reply.
+                        message = active.conn.recv()
+                        while message[0] == "telemetry":
+                            if self.telemetry is not None:
+                                self.telemetry.ingest(message[1])
+                            if not active.conn.poll():
+                                message = None
+                                break
+                            message = active.conn.recv()
                     except (EOFError, OSError):
                         active.process.join(timeout=5.0)
                         code = active.process.exitcode
                         active.error = f"worker crashed (exitcode {code})"
                     else:
+                        if message is None:
+                            continue  # still running — only heartbeats so far
+                        kind, payload = message
                         if kind == "ok":
                             active.result = RunResult.from_dict(payload).with_attempts(
                                 active.attempt
@@ -457,8 +755,17 @@ class SweepExecutor:
                 self._m_workers.dec()
                 if active.result is not None:
                     self._record(book, writer, active.result)
-                elif active.attempt < self.max_attempts:
+                    continue
+                self._point_event(
+                    writer, "point_crashed", active.request.key,
+                    attempt=active.attempt, error=active.error,
+                )
+                if active.attempt < self.max_attempts:
                     self._m_retried.inc()
+                    self._point_event(
+                        writer, "point_retried", active.request.key,
+                        attempt=active.attempt, error=active.error,
+                    )
                     backoff = self.retry_backoff * (2 ** (active.attempt - 1))
                     book.pending.append(
                         _Pending(
@@ -485,8 +792,16 @@ class SweepExecutor:
         book.results[result.request.key] = result
         if result.is_ok:
             self._m_completed.inc()
+            self._point_event(
+                writer, "point_finished", result.request.key,
+                attempt=result.attempts, status=result.status,
+            )
         else:
             self._m_failed.inc()
+            self._point_event(
+                writer, "point_failed", result.request.key,
+                attempt=result.attempts, error=result.error,
+            )
         if writer is not None:
             writer.record(result)
 
@@ -502,11 +817,14 @@ def execute_plan(
     resume: bool = False,
     mp_context: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    telemetry: Optional[TelemetryHub] = None,
+    heartbeat_interval: Optional[float] = None,
 ) -> SweepOutcome:
     """Execute ``plan`` and return its :class:`SweepOutcome`.
 
     ``parallel`` is the worker-process count (``0`` = inline in this
-    process). See :class:`SweepExecutor` for the remaining knobs.
+    process). ``telemetry`` streams live health into the given hub.
+    See :class:`SweepExecutor` for the remaining knobs.
     """
     return SweepExecutor(
         plan,
@@ -519,4 +837,6 @@ def execute_plan(
         resume=resume,
         mp_context=mp_context,
         metrics=metrics,
+        telemetry=telemetry,
+        heartbeat_interval=heartbeat_interval,
     ).run()

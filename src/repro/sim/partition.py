@@ -53,6 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.net import packet as _packet
+from repro.obs import telemetry as _telemetry
 from repro.sim.config import SimConfig
 from repro.sim.kernel import Simulator
 from repro.sim.rng import derive_seed
@@ -194,6 +195,7 @@ class _WorkerState:
         observe: bool,
     ) -> None:
         self.cells: List[_CellRuntime] = []
+        self._probe_labels: List[str] = []
         cell_config = config.replace(partitions=1)
         for index, spec in cells:
             outbound: List[Tuple[float, int, int, str, str, Any]] = []
@@ -203,6 +205,12 @@ class _WorkerState:
                 spec.name, index, sim, cell_seed, config.lookahead, outbound
             )
             self.cells.append(_CellRuntime(spec, handle, outbound))
+            if _telemetry.active():
+                # Wall-side progress probe, sampled by the owning
+                # process's heartbeat thread — never by the sim itself.
+                self._probe_labels.append(
+                    _telemetry.register_sim(sim, f"cell/{spec.name}")
+                )
 
     # -- command handlers ----------------------------------------------
     def handle(self, command: str, payload: Any) -> Any:
@@ -291,6 +299,9 @@ class _WorkerState:
                 )
             finally:
                 _packet.swap_id_stream(prev)
+        for label in self._probe_labels:
+            _telemetry.unregister_probe(label)
+        self._probe_labels = []
         return payloads
 
     # -- internals ------------------------------------------------------
@@ -503,8 +514,12 @@ def run_partitioned(
             list(enumerate(cells)), seed, config, observe
         )
     else:
-        from repro.runtime.executor import CommandWorker
+        from repro.runtime.executor import CommandWorker, receive_all
 
+        # Live telemetry is inherited from the ambient emitter: child
+        # workers heartbeat over their command pipes and this process
+        # relays the events to whatever hub/pipe it is itself wired to.
+        emitter = _telemetry.get_emitter()
         for w, group in enumerate(layout.assignments):
             workers.append(
                 CommandWorker(
@@ -517,17 +532,22 @@ def run_partitioned(
                     ),
                     mp_context=mp_context,
                     name=f"repro-partition-{w}",
+                    telemetry=emitter.enabled,
+                    on_telemetry=emitter.forward if emitter.enabled else None,
                 )
             )
 
     def broadcast(command: str, payloads):
         """One request per engine, fanned out before any reply is
-        collected; returns per-worker replies in worker order."""
+        collected; returns per-worker replies in worker order.
+        Replies are multiplexed (:func:`repro.runtime.executor.
+        receive_all`) so one slow worker's window never blinds the
+        others' telemetry streams."""
         if inline is not None:
             return [inline.handle(command, payloads[0])]
         for worker, payload in zip(workers, payloads):
             worker.send(command, payload)
-        return [worker.receive() for worker in workers]
+        return receive_all(workers)
 
     def split_messages(messages):
         """Group a globally sorted message batch by owning worker,
@@ -544,6 +564,7 @@ def run_partitioned(
         return per_worker
 
     windows = 0
+    emitter = _telemetry.get_emitter()
     try:
         # Build every cell; collect build-time messages + first horizons.
         replies = broadcast("build", [None] * max(1, layout.workers))
@@ -576,6 +597,13 @@ def run_partitioned(
                 "window", [(horizon, batch) for batch in inbound]
             )
             windows += 1
+            emitter.emit(
+                "partition_window",
+                window=windows,
+                horizon=horizon,
+                live_cells=len(live),
+                workers=layout.workers,
+            )
             pending = sorted(
                 (m for out, _times, _done in replies for m in out),
                 key=lambda m: (m[0], m[1], m[2]),

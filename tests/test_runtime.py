@@ -274,8 +274,15 @@ class TestCheckpointResume:
     def test_checkpoint_written_incrementally(self, tmp_path):
         ck = tmp_path / "sweep.jsonl"
         execute_plan(PLAN, parallel=2, runner=square_runner, checkpoint_path=ck)
-        lines = ck.read_text().splitlines()
-        assert len(lines) == 4
+        docs = [json.loads(line) for line in ck.read_text().splitlines()]
+        results = [d for d in docs if "key" in d]
+        events = [d["event"] for d in docs if "event" in d]
+        assert len(results) == 4
+        # Lifecycle events ride along in the same file (one started +
+        # one finished per point) without disturbing resume.
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("point_started") == 4
+        assert kinds.count("point_finished") == 4
         done = load_checkpoint(ck)
         assert set(done) == {p.key for p in PLAN}
 
