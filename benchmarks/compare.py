@@ -5,7 +5,11 @@ The benchmark suite (``pytest benchmarks/``) drops one JSON document
 per figure at the repo root: manifest + wall-clock seconds + key
 metrics (see ``benchmarks/conftest.py::bench_json``). This script
 compares those wall-clocks against a baseline and **fails (exit 1) on
-a >25% wall-clock regression** on any figure.
+a >25% wall-clock regression** on any figure. ``peak_rss_bytes`` is
+held to the same threshold: a figure whose peak resident set grows
+more than the threshold over its baseline fails the check too (memory
+regressions gate exactly like wall-clock ones; a missing baseline
+value is a warning, not an error).
 
 Baselines, in order of preference:
 
@@ -67,6 +71,9 @@ SPEEDUP_GATES: Dict[str, Dict[str, float]] = {
     # the per-packet event stream and convert it into wall-clock
     # (see bench_fluid.py).
     "fluid": {"speedup": 3.0, "events_ratio": 10.0},
+    # Streaming/lazy topology compilation vs the eager seed path:
+    # build wall-clock and retained bytes per vnode (see bench_topo.py).
+    "topo": {"speedup": 5.0, "mem_ratio": 4.0},
 }
 
 
@@ -166,31 +173,53 @@ def run(
             )
 
     regressions = []
+    rss_regressions = []
     gate_failures = []
     width = max(len(f) for f in current)
-    print(f"{'figure':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}  verdict")
+    print(
+        f"{'figure':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}"
+        f"  {'rss delta':>9}  verdict"
+    )
     for figure in sorted(current):
         doc = current[figure]
         wall = doc.get("wall_seconds")
+        rss = doc.get("peak_rss_bytes")
         cur_scale = _scale(doc)
         if baseline_dir:
             base_doc = baseline.get(figure, {})
             base = base_doc.get("wall_seconds")
+            base_rss = base_doc.get("peak_rss_bytes")
             base_scale = _scale(base_doc)
         else:
             base = doc.get("previous_wall_seconds")
+            base_rss = doc.get("previous_peak_rss_bytes")
             base_scale = float(doc.get("previous_bench_scale", cur_scale))
         verdict = compare_one(figure, wall, base, threshold, cur_scale, base_scale)
         if verdict == "regression":
             regressions.append(figure)
+        # Peak RSS gates like wall-clock: same threshold, same
+        # scale-diff escape hatch, warning-only when either side is
+        # missing (old baselines predate the field).
+        rss_verdict = compare_one(
+            figure, rss, base_rss, threshold, cur_scale, base_scale
+        )
+        if rss_verdict == "regression":
+            rss_regressions.append(figure)
+            if verdict == "ok":
+                verdict = "rss-regression"
         delta = (
             f"{(wall - base) / base * 100:+7.1f}%"
             if (wall is not None and base)
             else "     n/a"
         )
+        rss_delta = (
+            f"{(rss - base_rss) / base_rss * 100:+8.1f}%"
+            if (rss is not None and base_rss)
+            else "      n/a"
+        )
         base_s = f"{base:10.3f}" if base else f"{'-':>10}"
         wall_s = f"{wall:10.3f}" if wall is not None else f"{'-':>10}"
-        print(f"{figure:<{width}}  {base_s}  {wall_s}  {delta}  {verdict}")
+        print(f"{figure:<{width}}  {base_s}  {wall_s}  {delta}  {rss_delta}  {verdict}")
         if gate and figure in floors:
             metrics = doc.get("metrics") or {}
             for metric, floor in sorted(floors[figure].items()):
@@ -213,7 +242,17 @@ def run(
             file=sys.stderr,
         )
         return 1
-    print(f"\nOK: no figure regressed more than {threshold:.0%} wall-clock")
+    if rss_regressions:
+        print(
+            f"\nFAIL: {len(rss_regressions)} figure(s) regressed more than "
+            f"{threshold:.0%} peak RSS: {', '.join(rss_regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: no figure regressed more than {threshold:.0%} "
+        "wall-clock or peak RSS"
+    )
     return 0
 
 

@@ -20,6 +20,24 @@ import time
 
 import pytest
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+
+def _peak_rss_bytes() -> "int | None":
+    """Peak resident set size of this process, in bytes (POSIX only).
+
+    Recorded on every BENCH document so ``compare.py`` can gate memory
+    regressions like wall-clock regressions. ``ru_maxrss`` is
+    kilobytes on Linux.
+    """
+    if resource is None:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) * 1024
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -83,6 +101,7 @@ def bench_json(benchmark, full_scale):
         doc = {
             "figure": figure_id,
             "wall_seconds": wall,
+            "peak_rss_bytes": _peak_rss_bytes(),
             "metrics": merged,
             "manifest": {
                 "python_version": platform.python_version(),
@@ -105,6 +124,9 @@ def bench_json(benchmark, full_scale):
                 doc["previous_bench_scale"] = (old.get("manifest") or {}).get(
                     "bench_scale", 1.0
                 )
+            previous_rss = old.get("peak_rss_bytes")
+            if previous_rss is not None:
+                doc["previous_peak_rss_bytes"] = previous_rss
         path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
         return path
 

@@ -602,7 +602,13 @@ def run_bench(argv: List[str]) -> int:
     if args.figures:
         targets: List[str] = []
         for fig in args.figures:
-            matches = sorted(bench_dir.glob(f"bench_*{fig}*.py"))
+            # An exact bench name wins over substring expansion, so
+            # 'topo' selects bench_topo.py, not every *topo* file.
+            exact = bench_dir / f"bench_{fig}.py"
+            if exact.is_file():
+                matches = [exact]
+            else:
+                matches = sorted(bench_dir.glob(f"bench_*{fig}*.py"))
             if not matches:
                 print(f"no benchmark matches {fig!r} in {bench_dir}", file=sys.stderr)
                 return 2

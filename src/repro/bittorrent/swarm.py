@@ -20,6 +20,7 @@ from repro.bittorrent.tracker import DEFAULT_TRACKER_PORT, TrackerServer
 from repro.core.scenario import ScenarioSpec
 from repro.errors import ExperimentError
 from repro.obs import RunManifest, Snapshot, topology_fingerprint
+from repro.obs import telemetry
 from repro.sim import SimConfig, Simulator
 from repro.topology.compiler import compile_topology
 from repro.topology.presets import LinkProfile, bittorrent_profile
@@ -139,6 +140,7 @@ class Swarm:
         )
         self.spec = spec
         self.compiler = compile_topology(spec, self.testbed)
+        telemetry.register_topology(self.compiler, f"topo/{spec.name}")
 
         tracker_vnode = self.compiler.vnodes("infra")[0]
         if cfg.client.tracker_transport == "udp":
@@ -244,12 +246,11 @@ class Swarm:
         """Reconfigure one peer's access-link pipes at runtime
         (``ipfw pipe N config``) — used for heterogeneous-swarm studies
         such as the free-rider ablation."""
-        fw = client.vnode.pnode.stack.fw
-        base = 2 * client.vnode.address.value
+        up, down = self.compiler.access_pipes(client.vnode)
         if up_bw is not None:
-            fw.pipe(base).reconfigure(bandwidth=up_bw)
+            up.reconfigure(bandwidth=up_bw)
         if down_bw is not None:
-            fw.pipe(base + 1).reconfigure(bandwidth=down_bw)
+            down.reconfigure(bandwidth=down_bw)
 
     # -- observability -----------------------------------------------------
     def manifest(

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 from repro.core.scenario import ScenarioSpec
 from repro.errors import ExperimentError
+from repro.obs import telemetry
 from repro.sim import Simulator
 from repro.topology.compiler import TopologyCompiler
 from repro.topology.spec import TopologySpec
@@ -75,7 +76,12 @@ class Experiment:
             raise ExperimentError(f"experiment {self.name!r} already deployed")
         self._deployed = True
         self.compiler = TopologyCompiler(self.spec, self.testbed)
-        return self.compiler.deploy(placement=self.placement)
+        created = self.compiler.deploy(placement=self.placement)
+        # Surface the topology footprint (defined vs. materialised
+        # pipes) on live telemetry /health; weakly held, so the probe
+        # dies with the compiler.
+        telemetry.register_topology(self.compiler, f"topo/{self.name}")
+        return created
 
     def vnodes(self, group: Optional[str] = None) -> List[VirtualNode]:
         if self.compiler is None:

@@ -33,6 +33,15 @@ class IPv4Address:
             raise AddressError(f"address out of range: {value:#x}")
         self.value = value
 
+    @classmethod
+    def from_value(cls, value: int) -> "IPv4Address":
+        """Wrap an already-validated 32-bit value without the
+        constructor's type dispatch — the streaming address generator's
+        fast path (millions of calls per topology build)."""
+        addr = cls.__new__(cls)
+        addr.value = value
+        return addr
+
     def __int__(self) -> int:
         return self.value
 
@@ -144,6 +153,12 @@ class IPv4Network:
     def overlaps(self, other: "IPv4Network") -> bool:
         shorter, longer = (self, other) if self.prefixlen <= other.prefixlen else (other, self)
         return (longer._net & shorter.mask) == shorter._net
+
+    def contains_network(self, other: "IPv4Network") -> bool:
+        """Is ``other`` fully inside this prefix? CIDR prefixes are
+        power-of-two aligned, so two prefixes either nest or are
+        disjoint — ``overlaps`` is containment one way or the other."""
+        return self.prefixlen <= other.prefixlen and (other._net & self.mask) == self._net
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, IPv4Network):

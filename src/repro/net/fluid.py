@@ -475,7 +475,7 @@ class FlowScheduler:
         dst, dport = conn.remote
         if src.value == dst.value:
             return None  # true loopback is already a single event
-        co_hosted = dst.value in src_stack._local_values
+        co_hosted = src_stack.is_local_value(dst.value)
         if co_hosted:
             dst_stack = src_stack
         else:

@@ -33,7 +33,6 @@ it by default.
 
 from __future__ import annotations
 
-from bisect import insort
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import FirewallError
@@ -108,7 +107,7 @@ class Rule:
 
     __slots__ = (
         "number", "action", "pipe", "proto", "src", "dst", "direction", "hits",
-        "match",
+        "match", "pipe_factory",
     )
 
     def __init__(
@@ -120,18 +119,24 @@ class Rule:
         src: AddrMatch = None,
         dst: AddrMatch = None,
         direction: Optional[str] = None,
+        pipe_factory: Optional[Callable[["Rule"], DummynetPipe]] = None,
     ) -> None:
         if action not in (ACTION_PIPE, ACTION_ALLOW, ACTION_DENY, ACTION_COUNT):
             raise FirewallError(f"unknown action {action!r}")
-        if action == ACTION_PIPE and pipe is None:
-            raise FirewallError("pipe action needs a pipe")
-        if action != ACTION_PIPE and pipe is not None:
+        if action == ACTION_PIPE and pipe is None and pipe_factory is None:
+            raise FirewallError("pipe action needs a pipe (or a pipe_factory)")
+        if action != ACTION_PIPE and (pipe is not None or pipe_factory is not None):
             raise FirewallError(f"{action!r} action cannot carry a pipe")
         if direction not in (None, DIR_IN, DIR_OUT):
             raise FirewallError(f"bad direction {direction!r}")
         self.number = number
         self.action = action
         self.pipe = pipe
+        #: Lazy-pipe seam: when ``pipe`` is None, called (once) with the
+        #: rule at the first matching packet; the returned pipe is
+        #: stored back into ``pipe``. Idle vnodes never pay for their
+        #: Dummynet state (see topology/compiler.py).
+        self.pipe_factory = pipe_factory
         self.proto = proto
         self.src = src
         self.dst = dst
@@ -139,8 +144,11 @@ class Rule:
         self.hits = 0
         #: Precompiled match predicate (same truth table as
         #: :meth:`matches`, with the per-field dispatch hoisted out of
-        #: the per-packet path).
-        self.match = _compile_match(direction, proto, src, dst)
+        #: the per-packet path). Compiled on first evaluation — a
+        #: million-vnode rule list mostly never evaluates most rules,
+        #: and a closure per rule is real memory. Purely wall-side:
+        #: compilation has no observable effect.
+        self.match = None
 
     def matches(self, packet: Packet, direction: str) -> bool:
         """Does this rule match ``packet`` travelling ``direction``?"""
@@ -262,11 +270,23 @@ class Firewall:
         self._m_cache_hits = registry.counter("net.ipfw.flow_cache_hits", wall=True)
         self._m_cache_misses = registry.counter("net.ipfw.flow_cache_misses", wall=True)
         # Evaluation shortcut indexes (see class docstring).
-        self._by_src: dict[int, List[Rule]] = {}
-        self._by_dst: dict[int, List[Rule]] = {}
+        # Bucket values are a bare Rule (the overwhelmingly common
+        # case: one up rule per source address, one down rule per
+        # destination address) or a list once a second rule lands on
+        # the same address — a million-vnode table would otherwise
+        # spend a 56-byte list per bucket to hold one element.
+        self._by_src: dict[int, Union[Rule, List[Rule]]] = {}
+        self._by_dst: dict[int, Union[Rule, List[Rule]]] = {}
         self._generic: List[Rule] = []
         self._positions: dict[int, int] = {}  # id(rule) -> linear index
         self._dirty = False
+        #: Rules are appended, not insorted: topology compilation emits
+        #: them in increasing number order, so the list is almost
+        #: always already sorted and a deferred ``list.sort`` (timsort,
+        #: O(n) on sorted input) beats n insorts. Set whenever an
+        #: out-of-order number arrives; resolved by
+        #: :meth:`_ensure_sorted` before any order-sensitive read.
+        self._needs_sort = False
 
     # -- cost model ----------------------------------------------------
     @property
@@ -290,6 +310,22 @@ class Firewall:
         self.generation += 1
         return pipe
 
+    def register_lazy_pipe(self, pipe_id: int, pipe: DummynetPipe) -> DummynetPipe:
+        """Record a pipe materialised mid-evaluation by a rule's
+        ``pipe_factory``.
+
+        Unlike :meth:`add_pipe` this neither flushes the flow cache nor
+        bumps ``generation``: no cached verdict (and no fluid-flow
+        resolved path) can reference a pipe that did not exist yet —
+        materialisation happens *during* the very evaluation that would
+        first cache it — so invalidating here would only force spurious
+        re-probes that differ from the eager reference path.
+        """
+        if pipe_id in self._pipes:
+            raise FirewallError(f"pipe {pipe_id} already configured")
+        self._pipes[pipe_id] = pipe
+        return pipe
+
     def pipe(self, pipe_id: int) -> DummynetPipe:
         try:
             return self._pipes[pipe_id]
@@ -310,18 +346,22 @@ class Firewall:
         src: AddrMatch = None,
         dst: AddrMatch = None,
         direction: Optional[str] = None,
+        pipe_factory: Optional[Callable[[Rule], DummynetPipe]] = None,
     ) -> Rule:
         """Append a rule (auto-numbered in steps of 100 if ``number`` is None)."""
         if number is None:
             number = self._next_number
         if isinstance(pipe, int):
             pipe = self.pipe(pipe)
-        rule = Rule(number, action, pipe=pipe, proto=proto, src=src, dst=dst, direction=direction)
-        insort(self._rules, rule)
+        rule = Rule(
+            number, action, pipe=pipe, proto=proto, src=src, dst=dst,
+            direction=direction, pipe_factory=pipe_factory,
+        )
+        self._append_rule(rule)
         if type(rule.src) is IPv4Address:
-            self._by_src.setdefault(rule.src.value, []).append(rule)
+            self._bucket_insert(self._by_src, rule.src.value, rule)
         elif type(rule.dst) is IPv4Address:
-            self._by_dst.setdefault(rule.dst.value, []).append(rule)
+            self._bucket_insert(self._by_dst, rule.dst.value, rule)
         else:
             self._generic.append(rule)
         self._dirty = True
@@ -332,6 +372,91 @@ class Firewall:
             self._next_number = number + 100
         return rule
 
+    def add_access_pair(
+        self,
+        addr: IPv4Address,
+        number: int,
+        up_pipe: Optional[DummynetPipe] = None,
+        down_pipe: Optional[DummynetPipe] = None,
+        up_factory: Optional[Callable[[Rule], DummynetPipe]] = None,
+        down_factory: Optional[Callable[[Rule], DummynetPipe]] = None,
+    ) -> Tuple[Rule, Rule]:
+        """Install the canonical per-vnode access-rule pair in one call.
+
+        Semantically identical to two :meth:`add` calls — ``pipe from
+        addr out`` at ``number``, ``pipe to addr in`` at ``number + 1``
+        — but with the per-call bookkeeping (validation, cache flush,
+        generation bump) paid once. This is the streaming topology
+        compiler's hot loop: at a million vnodes the Python-level call
+        overhead of rule installation is the build time, so the two
+        rules are built with direct slot stores instead of the
+        validating constructor (this method's signature constrains the
+        shapes :class:`Rule` would validate).
+        """
+        if (up_pipe is None and up_factory is None) or (
+            down_pipe is None and down_factory is None
+        ):
+            raise FirewallError("access pair needs a pipe or a factory per direction")
+        up = Rule.__new__(Rule)
+        up.number = number
+        up.action = ACTION_PIPE
+        up.pipe = up_pipe
+        up.pipe_factory = up_factory
+        up.proto = None
+        up.src = addr
+        up.dst = None
+        up.direction = DIR_OUT
+        up.hits = 0
+        up.match = None
+        down = Rule.__new__(Rule)
+        down.number = number + 1
+        down.action = ACTION_PIPE
+        down.pipe = down_pipe
+        down.pipe_factory = down_factory
+        down.proto = None
+        down.src = None
+        down.dst = addr
+        down.direction = DIR_IN
+        down.hits = 0
+        down.match = None
+        rules = self._rules
+        if rules and number < rules[-1].number:
+            self._needs_sort = True
+        rules.append(up)
+        rules.append(down)
+        self._bucket_insert(self._by_src, addr.value, up)
+        self._bucket_insert(self._by_dst, addr.value, down)
+        self._dirty = True
+        if self._flow_cache:
+            self._flow_cache.clear()
+        self.generation += 1
+        self._m_rules.inc(2)
+        if number + 1 >= self._next_number:
+            self._next_number = number + 101
+        return up, down
+
+    def _append_rule(self, rule: Rule) -> None:
+        rules = self._rules
+        if rules and rule.number < rules[-1].number:
+            self._needs_sort = True
+        rules.append(rule)
+
+    @staticmethod
+    def _bucket_insert(table: dict, value: int, rule: Rule) -> None:
+        existing = table.get(value)
+        if existing is None:
+            table[value] = rule
+        elif type(existing) is list:
+            existing.append(rule)
+        else:
+            table[value] = [existing, rule]
+
+    def _ensure_sorted(self) -> None:
+        if self._needs_sort:
+            self._rules.sort()
+            self._needs_sort = False
+            self._dirty = True
+
     def delete(self, number: int) -> None:
         """Delete all rules with the given number.
 
@@ -340,6 +465,7 @@ class Firewall:
         :class:`Rule` handle) must not carry stale accounting, matching
         ``ipfw delete`` which discards the kernel counter with the rule.
         """
+        self._ensure_sorted()
         removed = [r for r in self._rules if r.number == number]
         if not removed:
             raise FirewallError(f"no rule numbered {number}")
@@ -349,9 +475,18 @@ class Firewall:
             rule.hits = 0
         for table in (self._by_src, self._by_dst):
             for key in list(table):
-                table[key] = [r for r in table[key] if r.number != number]
-                if not table[key]:
+                bucket = table[key]
+                kept = [
+                    r
+                    for r in (bucket if type(bucket) is list else (bucket,))
+                    if r.number != number
+                ]
+                if not kept:
                     del table[key]
+                elif len(kept) == 1:
+                    table[key] = kept[0]
+                else:
+                    table[key] = kept
         self._generic = [r for r in self._generic if r.number != number]
         self._dirty = True
         self._flow_cache.clear()
@@ -368,18 +503,52 @@ class Firewall:
         self._positions.clear()
         self._next_number = 100
         self._dirty = False
+        self._needs_sort = False
         self._flow_cache.clear()
         self.generation += 1
 
     @property
     def rules(self) -> List[Rule]:
+        self._ensure_sorted()
         return list(self._rules)
+
+    def rules_for(
+        self, src: Optional[IPv4Address] = None, dst: Optional[IPv4Address] = None
+    ) -> List[Rule]:
+        """Rules filed under an exact source or destination address
+        (the evaluation shortcut buckets) — the control plane's lookup
+        for per-vnode rules without a full-list scan."""
+        if src is not None:
+            bucket = self._by_src.get(src.value)
+        elif dst is not None:
+            bucket = self._by_dst.get(dst.value)
+        else:
+            return list(self._generic)
+        if bucket is None:
+            return []
+        return list(bucket) if type(bucket) is list else [bucket]
+
+    def materialize(self, rule: Rule) -> DummynetPipe:
+        """Force a lazy rule's pipe into existence.
+
+        Control-plane entry point (runtime reconfiguration of a pipe
+        no packet has matched yet); the data path materialises inline
+        in :meth:`evaluate`. Idempotent — an existing pipe is returned
+        as-is.
+        """
+        pipe = rule.pipe
+        if pipe is None:
+            if rule.pipe_factory is None:
+                raise FirewallError(f"rule {rule.number} has no pipe")
+            pipe = rule.pipe = rule.pipe_factory(rule)
+        return pipe
 
     def __len__(self) -> int:
         return len(self._rules)
 
     # -- evaluation ----------------------------------------------------
     def _refresh_positions(self) -> None:
+        self._ensure_sorted()
         self._positions = {id(rule): i for i, rule in enumerate(self._rules)}
         self._dirty = False
 
@@ -419,10 +588,16 @@ class Firewall:
         candidates: List[Rule] = []
         bucket = self._by_src.get(packet.src.value)
         if bucket is not None:
-            candidates.extend(bucket)
+            if type(bucket) is list:
+                candidates.extend(bucket)
+            else:
+                candidates.append(bucket)
         bucket = self._by_dst.get(packet.dst.value)
         if bucket is not None:
-            candidates.extend(bucket)
+            if type(bucket) is list:
+                candidates.extend(bucket)
+            else:
+                candidates.append(bucket)
         if self._generic:
             candidates.extend(self._generic)
         if len(candidates) > 1:
@@ -438,14 +613,22 @@ class Firewall:
         scanned = 0 if indexed else len(self._rules)
         for rule in candidates:
             examined += 1
-            if not rule.match(packet, direction):
+            match = rule.match
+            if match is None:
+                match = rule.match = _compile_match(
+                    rule.direction, rule.proto, rule.src, rule.dst
+                )
+            if not match(packet, direction):
                 continue
             rule.hits += 1
             matched.append(rule.number)
             matched_rules.append(rule)
             action = rule.action
             if action == ACTION_PIPE:
-                pipes.append(rule.pipe)  # type: ignore[arg-type]
+                pipe = rule.pipe
+                if pipe is None:
+                    pipe = rule.pipe = rule.pipe_factory(rule)  # type: ignore[misc]
+                pipes.append(pipe)
             elif action == ACTION_ALLOW:
                 if not indexed:
                     scanned = self._positions[id(rule)] + 1
@@ -485,6 +668,7 @@ class Firewall:
         }
 
     def __iter__(self) -> Iterable[Rule]:
+        self._ensure_sorted()
         return iter(self._rules)
 
 

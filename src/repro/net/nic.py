@@ -16,10 +16,20 @@ from repro.net.addr import IPv4Address, ip
 
 
 class Interface:
-    """One NIC: a primary address plus an ordered list of aliases."""
+    """One NIC: a primary address plus an ordered list of aliases.
+
+    Aliases come in two representations: individually configured
+    addresses (the ``_aliases`` list + ``_addr_values`` set) and
+    *blocks* — contiguous ``[start, end)`` value runs registered in one
+    call by streaming topology deployment, costing O(1) memory per run
+    instead of one set entry per address. Membership checks consult the
+    set first and fall back to the (few) blocks; a block hit promotes
+    the value into the set so steady-state traffic never re-scans.
+    """
 
     __slots__ = (
         "name", "primary", "_aliases", "_addr_values",
+        "_alias_blocks", "_block_holes", "_configured",
         "tx_packets", "tx_bytes", "rx_packets", "rx_bytes",
     )
 
@@ -28,8 +38,16 @@ class Interface:
         self.primary: Optional[IPv4Address] = ip(primary) if primary is not None else None
         self._aliases: List[IPv4Address] = []
         self._addr_values: Set[int] = set()
+        #: Sorted, disjoint ``(start, end)`` half-open alias runs.
+        self._alias_blocks: List[tuple] = []
+        #: Values removed from inside a block (rare: vnode removal).
+        self._block_holes: Set[int] = set()
+        #: Configured address count (blocks are not expanded to count
+        #: them, and set promotion must not double-count).
+        self._configured = 0
         if self.primary is not None:
             self._addr_values.add(self.primary.value)
+            self._configured = 1
         # ``netstat -i``-style counters, fed by the owning stack.
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -58,17 +76,63 @@ class Interface:
         addr = ip(addr)
         if self.primary is not None:
             self._addr_values.discard(self.primary.value)
+        else:
+            self._configured += 1
         self.primary = addr
         self._addr_values.add(addr.value)
 
     def add_alias(self, addr: Union[IPv4Address, str]) -> IPv4Address:
         """Configure an alias (``ifconfig eth0 alias A``)."""
         addr = ip(addr)
-        if addr.value in self._addr_values:
+        if addr.value in self._addr_values or self._in_blocks(addr.value):
             raise VirtualizationError(f"{addr} already configured on {self.name}")
         self._aliases.append(addr)
         self._addr_values.add(addr.value)
+        self._configured += 1
         return addr
+
+    def add_alias_block(self, start: int, end: int) -> None:
+        """Configure the contiguous alias run ``[start, end)`` in O(1).
+
+        The streaming deployment path registers each physical node's
+        block-placement slice this way — a million-vnode testbed keeps
+        a handful of runs per interface instead of a million set
+        entries.
+        """
+        if end <= start:
+            raise VirtualizationError(f"empty alias block [{start}, {end})")
+        for lo, hi in self._alias_blocks:
+            if start < hi and lo < end:
+                raise VirtualizationError(
+                    f"alias block [{start}, {end}) overlaps [{lo}, {hi}) on {self.name}"
+                )
+        for value in self._addr_values:
+            if start <= value < end:
+                raise VirtualizationError(
+                    f"alias block [{start}, {end}) overlaps configured "
+                    f"address {IPv4Address(value)} on {self.name}"
+                )
+        self._alias_blocks.append((start, end))
+        self._alias_blocks.sort()
+        self._configured += end - start
+
+    def _in_blocks(self, value: int) -> bool:
+        for lo, hi in self._alias_blocks:
+            if lo <= value < hi:
+                return value not in self._block_holes
+        return False
+
+    def check_block(self, value: int) -> bool:
+        """Block-membership fallback for the owning stack's per-packet
+        local check; a hit promotes the value into the live set so the
+        next packet is a plain set hit."""
+        for lo, hi in self._alias_blocks:
+            if lo <= value < hi:
+                if value in self._block_holes:
+                    return False
+                self._addr_values.add(value)
+                return True
+        return False
 
     def remove_alias(self, addr: Union[IPv4Address, str]) -> None:
         addr = ip(addr)
@@ -77,13 +141,17 @@ class Interface:
         try:
             self._aliases.remove(addr)
         except ValueError:
-            raise AddressError(f"{addr} not configured on {self.name}") from None
+            if not self._in_blocks(addr.value):
+                raise AddressError(f"{addr} not configured on {self.name}") from None
+            self._block_holes.add(addr.value)
         self._addr_values.discard(addr.value)
+        self._configured -= 1
 
     def has_address(self, addr: Union[IPv4Address, str, int]) -> bool:
         if type(addr) is int:  # hot path: stacks pass raw values
-            return addr in self._addr_values
-        return ip(addr).value in self._addr_values
+            return addr in self._addr_values or self._in_blocks(addr)
+        value = ip(addr).value
+        return value in self._addr_values or self._in_blocks(value)
 
     @property
     def local_values(self) -> Set[int]:
@@ -94,17 +162,33 @@ class Interface:
         return self._addr_values
 
     @property
+    def alias_blocks(self) -> List[tuple]:
+        """Sorted ``(start, end)`` half-open block runs (live list —
+        mutated in place, never rebound; treat as read-only)."""
+        return self._alias_blocks
+
+    @property
     def aliases(self) -> List[IPv4Address]:
-        return list(self._aliases)
+        out = list(self._aliases)
+        holes = self._block_holes
+        for lo, hi in self._alias_blocks:
+            out.extend(IPv4Address(v) for v in range(lo, hi) if v not in holes)
+        return out
 
     def addresses(self) -> Iterator[IPv4Address]:
-        """Primary address first, then aliases in configuration order."""
+        """Primary address first, then aliases in configuration order,
+        then block runs in value order."""
         if self.primary is not None:
             yield self.primary
         yield from self._aliases
+        holes = self._block_holes
+        for lo, hi in self._alias_blocks:
+            for v in range(lo, hi):
+                if v not in holes:
+                    yield IPv4Address(v)
 
     def __len__(self) -> int:
-        return len(self._addr_values)
+        return self._configured
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Interface({self.name!r}, primary={self.primary}, aliases={len(self._aliases)})"

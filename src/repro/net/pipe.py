@@ -22,6 +22,7 @@ configured.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import FirewallError
@@ -40,6 +41,38 @@ DeliverFn = Callable[[Packet], Any]
 #: at ``TRAIN_MAX_PACKETS`` entries.
 TRAIN_FLOOR_BYTES = 64 * 1024
 TRAIN_MAX_PACKETS = 256
+
+
+@dataclass(frozen=True)
+class ShapingProfile:
+    """Immutable access-link shaping parameters shared by a whole group.
+
+    The flyweight of the million-vnode topology compiler: one profile
+    per :class:`~repro.topology.spec.GroupSpec` holds the bandwidth /
+    delay / loss constants, and per-vnode :class:`DummynetPipe`
+    instances are stamped out of it only when (if ever) a packet first
+    matches the vnode's rule. ``bandwidth=None`` keeps the unshaped
+    (delay-only) convention of :class:`DummynetPipe`.
+    """
+
+    down_bw: Optional[float] = None
+    up_bw: Optional[float] = None
+    latency: float = 0.0
+    plr: float = 0.0
+
+    def up_pipe(self, sim, name: str, owner: Optional[str] = None) -> "DummynetPipe":
+        """The vnode's upload pipe (outgoing traffic)."""
+        return DummynetPipe(
+            sim, bandwidth=self.up_bw, delay=self.latency, plr=self.plr,
+            name=name, owner=owner,
+        )
+
+    def down_pipe(self, sim, name: str, owner: Optional[str] = None) -> "DummynetPipe":
+        """The vnode's download pipe (incoming traffic)."""
+        return DummynetPipe(
+            sim, bandwidth=self.down_bw, delay=self.latency, plr=self.plr,
+            name=name, owner=owner,
+        )
 
 
 class DummynetPipe:

@@ -86,6 +86,10 @@ class NetworkStack:
         #: rebound) — per-packet local-destination checks are a raw set
         #: membership with no method call.
         self._local_values = self.iface.local_values
+        #: Same contract for the interface's alias blocks: the live
+        #: list, consulted (via the interface, which promotes hits into
+        #: the set) only when the set misses and blocks exist.
+        self._local_blocks = self.iface.alias_blocks
         self.fw = Firewall(name=f"ipfw/{name}", metrics=getattr(sim, "metrics", None))
         self.tcp = TcpLayer(self, explicit_acks=tcp_explicit_acks)
         self.udp = UdpLayer(self)
@@ -115,6 +119,20 @@ class NetworkStack:
         if self.switch is not None:
             self.switch.register_address(addr, self)
         return addr
+
+    def add_address_block(self, start: int, end: int) -> None:
+        """Add the contiguous alias run ``[start, end)`` in one call —
+        the streaming deployment path's O(1)-per-slice registration
+        (interface aliases + switch learning together)."""
+        self.iface.add_alias_block(start, end)
+        if self.switch is not None:
+            self.switch.register_address_block(start, end, self)
+
+    def is_local_value(self, value: int) -> bool:
+        """Is ``value`` one of this stack's configured addresses?
+        Set-first with block fallback — the out-of-line twin of the
+        inlined per-packet check in :meth:`send`."""
+        return value in self._local_values or self.iface.check_block(value)
 
     def remove_address(self, addr: Union[IPv4Address, str]) -> None:
         addr = ip(addr)
@@ -200,7 +218,9 @@ class NetworkStack:
             # After the allow verdict: denied packets never reach taps.
             for tap in self._egress_taps:
                 tap(pkt)
-        if pkt.dst.value in self._local_values:
+        if pkt.dst.value in self._local_values or (
+            self._local_blocks and self.iface.check_block(pkt.dst.value)
+        ):
             # Co-hosted virtual nodes: traffic stays on this host (lo0)
             # but IPFW/Dummynet still shape it in both directions — this
             # is what keeps folded experiments faithful (Figure 9). The

@@ -62,6 +62,13 @@ class Switch:
         self.port_delay = port_delay
         self._ports: Dict[str, Port] = {}
         self._addr_map: Dict[int, Port] = {}
+        #: Sorted, disjoint ``(start, end, Port)`` half-open address
+        #: runs — block registration from streaming deployment. A
+        #: forwarding miss on ``_addr_map`` falls back to these and
+        #: promotes the hit, so only a destination's first packet pays
+        #: the scan (and idle destinations cost no map entry at all).
+        self._addr_blocks: list = []
+        self._block_holes: set = set()
         self.packets_forwarded = 0
         self.packets_unroutable = 0
 
@@ -94,17 +101,59 @@ class Switch:
         if port is None:
             raise RoutingError(f"stack {stack.name!r} not attached to {self.name}")
         existing = self._addr_map.get(addr.value)
+        if existing is None and self._addr_blocks:
+            existing = self._block_port(addr.value)
         if existing is not None and existing is not port:
             raise RoutingError(
                 f"{addr} already registered to {existing.stack.name!r}"
             )
+        self._block_holes.discard(addr.value)
         self._addr_map[addr.value] = port
+
+    def register_address_block(
+        self, start: int, end: int, stack: "NetworkStack"
+    ) -> None:
+        """Learn that the contiguous run ``[start, end)`` lives behind
+        ``stack``'s port, in O(1) — block placement registers each
+        physical node's slice this way."""
+        port = self._ports.get(stack.name)
+        if port is None:
+            raise RoutingError(f"stack {stack.name!r} not attached to {self.name}")
+        if end <= start:
+            raise RoutingError(f"empty address block [{start}, {end})")
+        for lo, hi, other in self._addr_blocks:
+            if start < hi and lo < end and other is not port:
+                raise RoutingError(
+                    f"address block [{start}, {end}) overlaps one "
+                    f"registered to {other.stack.name!r}"
+                )
+        self._addr_blocks.append((start, end, port))
+        self._addr_blocks.sort(key=lambda b: (b[0], b[1]))
+
+    def _block_port(self, value: int) -> Optional[Port]:
+        """Block fallback for a ``_addr_map`` miss; a hit is promoted
+        into the map so only the first packet per destination scans."""
+        for lo, hi, port in self._addr_blocks:
+            if lo <= value < hi:
+                if value in self._block_holes:
+                    return None
+                self._addr_map[value] = port
+                return port
+        return None
 
     def unregister_address(self, addr: IPv4Address) -> None:
         self._addr_map.pop(addr.value, None)
+        if self._addr_blocks:
+            value = addr.value
+            for lo, hi, _port in self._addr_blocks:
+                if lo <= value < hi:
+                    self._block_holes.add(value)
+                    return
 
     def lookup(self, addr: IPv4Address) -> Optional["NetworkStack"]:
         port = self._addr_map.get(addr.value)
+        if port is None and self._addr_blocks:
+            port = self._block_port(addr.value)
         return port.stack if port is not None else None
 
     # ------------------------------------------------------------------
@@ -121,8 +170,11 @@ class Switch:
             raise RoutingError(f"stack {from_stack.name!r} not attached to {self.name}")
         dst_port = self._addr_map.get(packet.dst.value)
         if dst_port is None:
-            self.packets_unroutable += 1
-            return False
+            if self._addr_blocks:
+                dst_port = self._block_port(packet.dst.value)
+            if dst_port is None:
+                self.packets_unroutable += 1
+                return False
         self.packets_forwarded += 1
 
         deliver: Callable[[Packet], None] = dst_port.stack.receive_from_wire

@@ -256,6 +256,35 @@ def register_sim(sim, label: str) -> str:
     return register_probe(label, sample)
 
 
+def register_topology(compiler, label: str) -> str:
+    """Probe a deployed topology compiler's footprint (weakly held).
+
+    Surfaces the lazy-pipe ledger on ``/health``: how many Dummynet
+    pipes the topology *defines* versus how many have actually
+    materialised — the capacity-planning signal for million-vnode
+    deployments. The ledger counters are wall-side diagnostics (their
+    registry twins are ``wall=True``) and never enter deterministic
+    snapshots.
+    """
+    ref = weakref.ref(compiler)
+
+    def sample() -> Optional[Dict[str, Any]]:
+        target = ref()
+        if target is None:
+            return None
+        stats = target.stats()
+        return {
+            "label": label,
+            "vnodes": int(stats.get("vnodes", 0)),
+            "rules": int(stats.get("rules", 0)),
+            "pipes": int(stats.get("pipes", 0)),
+            "pipes_materialized": int(stats.get("pipes_materialized", 0)),
+            "lazy_pipes_pending": int(stats.get("lazy_pipes_pending", 0)),
+        }
+
+    return register_probe(label, sample)
+
+
 def sample_probes() -> List[Dict[str, Any]]:
     """Sample every live probe (label-sorted); prune dead ones."""
     with _probes_lock:

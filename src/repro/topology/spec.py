@@ -10,6 +10,7 @@ has a single 400 ms rule towards another /16).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -58,7 +59,18 @@ class GroupSpec:
 
     def addresses(self) -> List[IPv4Address]:
         """The node addresses of this group (host 1 .. count)."""
-        return [self.prefix.host(i + 1) for i in range(self.count)]
+        return list(self.iter_addresses())
+
+    def iter_addresses(self) -> Iterator[IPv4Address]:
+        """Generate the node addresses (host 1 .. count) one at a time —
+        the streaming form: a million-node group never needs to exist
+        as a list. Values are range-checked once at construction
+        (``__post_init__``), so the fast wrap-only constructor applies.
+        """
+        base = self.prefix._net
+        from_value = IPv4Address.from_value
+        for value in range(base + 1, base + 1 + self.count):
+            yield from_value(value)
 
 
 class TopologySpec:
@@ -81,6 +93,9 @@ class TopologySpec:
         latency: float = 0.0,
         plr: float = 0.0,
     ) -> GroupSpec:
+        # Interned: the group name is shared by every vnode record and
+        # rule bucket of the group rather than copied around.
+        name = sys.intern(name)
         if name in self.groups:
             raise TopologyError(f"duplicate group {name!r}")
         prefix = network(prefix)
@@ -130,10 +145,41 @@ class TopologySpec:
 
     def all_addresses(self) -> List[IPv4Address]:
         """All node addresses, in group insertion order."""
-        out: List[IPv4Address] = []
+        return list(self.iter_addresses())
+
+    def iter_addresses(self) -> Iterator[IPv4Address]:
+        """All node addresses in group insertion order, streamed."""
         for group in self.groups.values():
-            out.extend(group.addresses())
-        return out
+            yield from group.iter_addresses()
+
+    def hierarchical(self) -> bool:
+        """Do any two group prefixes nest (hierarchy)?"""
+        groups = list(self.groups.values())
+        for i, a in enumerate(groups):
+            for b in groups[i + 1 :]:
+                if a.prefix.overlaps(b.prefix):
+                    return True
+        return False
+
+    def iter_placements(self) -> Iterator[Tuple[IPv4Address, Optional[str]]]:
+        """``(address, group-name)`` pairs in placement order, streamed.
+
+        The streaming equivalent of ``zip(all_addresses(), map(group_of,
+        all_addresses()))`` without the per-address linear group scan:
+        when no group prefixes nest, an address generated by a group
+        belongs to that group. With nesting (hierarchy) the most
+        specific prefix wins, so the slow resolution is kept for
+        exactly that case.
+        """
+        if self.hierarchical():
+            for group in self.groups.values():
+                for addr in group.iter_addresses():
+                    yield addr, self.group_of(addr)
+        else:
+            for group in self.groups.values():
+                name = group.name
+                for addr in group.iter_addresses():
+                    yield addr, name
 
     def group_of(self, addr: IPv4Address) -> Optional[str]:
         """The most specific group whose prefix contains ``addr``."""

@@ -10,7 +10,9 @@ that results do not change (Figure 9).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.errors import VirtualizationError
 from repro.net.addr import IPv4Address, IPv4Network, network
@@ -73,10 +75,20 @@ class Testbed:
             )
             for i in range(num_pnodes)
         ]
-        self.vnodes: Dict[str, VirtualNode] = {}
-        self._by_address: Dict[int, VirtualNode] = {}
+        self._vnodes: List[VirtualNode] = []
+        self._vnode_map: Optional[Dict[str, VirtualNode]] = {}
+        self._by_address: Optional[Dict[int, VirtualNode]] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def vnodes(self) -> Dict[str, VirtualNode]:
+        """Name-keyed view of every deployed vnode (built lazily —
+        touching it forces any deferred names)."""
+        vnode_map = self._vnode_map
+        if vnode_map is None:
+            vnode_map = self._vnode_map = {v.name: v for v in self._vnodes}
+        return vnode_map
+
     def deploy(
         self,
         addresses: Sequence[IPv4Address],
@@ -90,30 +102,119 @@ class Testbed:
         (ceil(N/M) per node, the paper's "32 virtual nodes per physical
         node" style); ``round-robin`` deals addresses out cyclically.
         """
-        n, m = len(addresses), len(self.pnodes)
+        return list(
+            self.place(
+                addresses,
+                count=len(addresses),
+                placement=placement,
+                name_prefix=name_prefix,
+                group_of=group_of,
+            )
+        )
+
+    def place(
+        self,
+        items: Iterable[Union[IPv4Address, Tuple[IPv4Address, Optional[str]]]],
+        count: Optional[int] = None,
+        placement: str = PLACEMENT_BLOCK,
+        name_prefix: str = "vnode",
+        group_of: Optional[Callable[[IPv4Address], Optional[str]]] = None,
+        block_register: bool = False,
+    ) -> Iterator[VirtualNode]:
+        """Streaming placement: yield vnodes as they are created.
+
+        ``items`` is an iterable of addresses or ``(address, group)``
+        pairs — a generator works, so a million-address topology never
+        exists as a list. ``count`` must be given when ``items`` has no
+        ``len()`` (block placement needs the total up front). Created
+        vnodes carry deferred names (``f"{name_prefix}{ordinal}"``,
+        formatted on first use) and lazy libc state.
+
+        ``block_register=True`` registers contiguous address runs with
+        the stack/switch as O(1) blocks instead of per-address entries
+        (the million-vnode fast path). A run is flushed when it breaks,
+        so consume the stream fully before starting traffic.
+        """
+        try:
+            n = len(items)  # type: ignore[arg-type]
+        except TypeError:
+            if count is None:
+                raise VirtualizationError(
+                    "streaming placement needs count= for unsized iterables"
+                )
+            n = count
+        m = len(self.pnodes)
         if n == 0:
-            return []
-        created: List[VirtualNode] = []
+            return
         per_node = -(-n // m)  # ceil
-        for i, addr in enumerate(addresses):
-            if placement == PLACEMENT_BLOCK:
-                pnode = self.pnodes[i // per_node]
-            elif placement == PLACEMENT_ROUND_ROBIN:
-                pnode = self.pnodes[i % m]
-            else:
-                raise VirtualizationError(f"unknown placement {placement!r}")
-            name = f"{name_prefix}{len(self.vnodes) + 1}"
-            group = group_of(addr) if group_of is not None else None
-            vnode = pnode.add_vnode(name, addr, group=group)
-            self.vnodes[name] = vnode
-            self._by_address[vnode.address.value] = vnode
-            created.append(vnode)
-        return created
+        start = len(self._vnodes)
+        pnodes = self.pnodes
+        # Name- and address-keyed views go stale as vnodes stream in;
+        # they rebuild from the list on next access.
+        self._vnode_map = None
+        self._by_address = None
+        if placement == PLACEMENT_BLOCK:
+            block_placement = True
+        elif placement == PLACEMENT_ROUND_ROBIN:
+            block_placement = False
+        else:
+            raise VirtualizationError(f"unknown placement {placement!r}")
+        vnodes = self._vnodes
+        pnode = pnodes[0]
+        pnode_index = 0
+        slots_left = per_node  # countdown replaces a per-item division
+        run_stack = None  # current contiguous (stack, value-run) slice
+        run_start = run_end = 0
+        try:
+            for i, item in enumerate(items):
+                if type(item) is tuple:
+                    addr, group = item
+                else:
+                    addr = item
+                    group = group_of(addr) if group_of is not None else None
+                if block_placement:
+                    if slots_left == 0:
+                        pnode_index += 1
+                        pnode = pnodes[pnode_index]
+                        slots_left = per_node
+                    slots_left -= 1
+                else:
+                    pnode = pnodes[i % m]
+                if block_register:
+                    stack = pnode.stack
+                    value = addr.value
+                    if stack is run_stack and value == run_end:
+                        run_end = value + 1
+                    else:
+                        if run_stack is not None:
+                            run_stack.add_address_block(run_start, run_end)
+                        run_stack = stack
+                        run_start = value
+                        run_end = value + 1
+                    vnode = pnode.host(
+                        addr, group=group, name_prefix=name_prefix,
+                        ordinal=start + i + 1, register=False,
+                    )
+                else:
+                    vnode = pnode.host(
+                        addr, group=group, name_prefix=name_prefix,
+                        ordinal=start + i + 1,
+                    )
+                vnodes.append(vnode)
+                yield vnode
+        finally:
+            if run_stack is not None and run_end > run_start:
+                run_stack.add_address_block(run_start, run_end)
 
     def vnode_at(self, address: Union[IPv4Address, str]) -> VirtualNode:
         value = address.value if isinstance(address, IPv4Address) else IPv4Address(address).value
+        by_address = self._by_address
+        if by_address is None:
+            by_address = self._by_address = {
+                v.address.value: v for v in self._vnodes
+            }
         try:
-            return self._by_address[value]
+            return by_address[value]
         except KeyError:
             raise VirtualizationError(f"no vnode at {address}") from None
 
@@ -123,7 +224,7 @@ class Testbed:
         return [p.folding_ratio for p in self.pnodes]
 
     def total_vnodes(self) -> int:
-        return len(self.vnodes)
+        return len(self._vnodes)
 
     def run(self, until: Optional[float] = None) -> None:
         """Convenience passthrough to the simulator."""
@@ -131,6 +232,6 @@ class Testbed:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Testbed(pnodes={len(self.pnodes)}, vnodes={len(self.vnodes)}, "
+            f"Testbed(pnodes={len(self.pnodes)}, vnodes={len(self._vnodes)}, "
             f"t={self.sim.now:.1f}s)"
         )

@@ -56,6 +56,10 @@ class Libc:
         charging (and its events) for large-scale runs.
     """
 
+    __slots__ = (
+        "stack", "bindip", "intercepting", "static", "syscall_cost", "syscalls",
+    )
+
     def __init__(
         self,
         stack,

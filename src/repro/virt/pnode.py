@@ -10,12 +10,13 @@ enforcement is off by default and available for ablations.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import VirtualizationError
 from repro.net.addr import IPv4Address, ip
 from repro.net.stack import NetworkStack
 from repro.net.switch import Switch
+from repro.virt.libc import DEFAULT_SYSCALL_COST
 from repro.virt.vnode import VirtualNode
 
 
@@ -27,6 +28,8 @@ class CpuAccount:
     ``ncpus`` virtual processors, so an oversubscribed host slows its
     vnodes down — the overhead mechanism folding experiments look for.
     """
+
+    __slots__ = ("sim", "ncpus", "enforce", "busy_seconds", "_cpu_free")
 
     def __init__(self, sim, ncpus: int = 2, enforce: bool = False) -> None:
         self.sim = sim
@@ -70,6 +73,10 @@ class CpuAccount:
 class PhysicalNode:
     """One cluster machine (GridExplorer dual-Opteron in the paper)."""
 
+    __slots__ = (
+        "sim", "name", "stack", "admin_address", "cpu", "_vnodes", "_by_name",
+    )
+
     def __init__(
         self,
         sim,
@@ -87,7 +94,19 @@ class PhysicalNode:
         )
         self.admin_address = self.stack.set_admin_address(ip(admin_address))
         self.cpu = CpuAccount(sim, ncpus=ncpus, enforce=enforce_cpu)
-        self.vnodes: Dict[str, VirtualNode] = {}
+        # Hosted vnodes live in a list; the name-keyed view is built on
+        # demand (building it forces every deferred vnode name, so the
+        # streaming deploy path must not touch it).
+        self._vnodes: List[VirtualNode] = []
+        self._by_name: Optional[Dict[str, VirtualNode]] = {}
+
+    @property
+    def vnodes(self) -> Dict[str, VirtualNode]:
+        """Name-keyed view of the hosted vnodes (built lazily)."""
+        by_name = self._by_name
+        if by_name is None:
+            by_name = self._by_name = {v.name: v for v in self._vnodes}
+        return by_name
 
     def add_vnode(
         self,
@@ -101,19 +120,57 @@ class PhysicalNode:
         address = ip(address)
         self.stack.add_address(address)
         vnode = VirtualNode(self, name, address, group=group)
+        self._vnodes.append(vnode)
         self.vnodes[name] = vnode
+        return vnode
+
+    def host(
+        self,
+        address: IPv4Address,
+        group: Optional[str] = None,
+        name_prefix: str = "vnode",
+        ordinal: int = 1,
+        register: bool = True,
+    ) -> VirtualNode:
+        """Streaming-placement fast path: host a vnode with a deferred
+        name (``f"{name_prefix}{ordinal}"`` formatted on first use) and
+        no duplicate-name check — the deployment generator numbers
+        vnodes uniquely by construction. ``register=False`` skips the
+        per-address stack registration; the caller must cover the
+        address via :meth:`NetworkStack.add_address_block`.
+        """
+        if register:
+            self.stack.add_address(address)
+        # Direct slot stores instead of the validating constructor —
+        # this is the million-vnode build's hot loop, and every field
+        # shape is fixed by this call site.
+        vnode = VirtualNode.__new__(VirtualNode)
+        vnode.pnode = self
+        vnode.address = address
+        vnode.group = group
+        vnode.sim = self.sim
+        vnode.cpu_speed = 1.0
+        vnode._name = None
+        vnode._name_prefix = name_prefix
+        vnode._ordinal = ordinal
+        vnode._libc = None
+        vnode._processes = None
+        vnode._syscall_cost = DEFAULT_SYSCALL_COST
+        self._vnodes.append(vnode)
+        self._by_name = None
         return vnode
 
     def remove_vnode(self, name: str) -> None:
         vnode = self.vnodes.pop(name, None)
         if vnode is None:
             raise VirtualizationError(f"no vnode {name!r} on {self.name!r}")
+        self._vnodes.remove(vnode)
         self.stack.remove_address(vnode.address)
 
     @property
     def folding_ratio(self) -> int:
         """Number of virtual nodes hosted here."""
-        return len(self.vnodes)
+        return len(self._vnodes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PhysicalNode({self.name!r}, {self.admin_address}, vnodes={len(self.vnodes)})"
+        return f"PhysicalNode({self.name!r}, {self.admin_address}, vnodes={len(self._vnodes)})"
